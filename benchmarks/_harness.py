@@ -1,0 +1,79 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the rows of one experiment of the per-experiment index
+in ``DESIGN.md`` (E1..E9).  The simulated horizon and system sizes are chosen so
+each benchmark completes in seconds; the qualitative shape of the results (who
+stabilises, whose variables stay bounded, who keeps churning leaders) is what the
+paper's claims are about and is asserted, while the absolute virtual-time numbers
+are reported for inspection in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.analysis import ExperimentResult, LeaderPoller, build_system, run_omega_experiment
+from repro.assumptions.base import Scenario
+from repro.core.omega_base import RotatingStarOmegaBase
+from repro.simulation.crash import CrashSchedule
+from repro.util.tables import format_table
+
+
+def run_and_summarize(
+    scenario: Scenario,
+    algorithm_cls,
+    duration: float,
+    seed: int,
+    crash_schedule: Optional[CrashSchedule] = None,
+) -> ExperimentResult:
+    """Run one experiment (thin wrapper kept for symmetry with the tests)."""
+    return run_omega_experiment(
+        scenario,
+        algorithm_cls,
+        duration=duration,
+        seed=seed,
+        crash_schedule=crash_schedule,
+    )
+
+
+def result_table(results: Sequence[ExperimentResult], title: str) -> str:
+    """Format a list of experiment results as the benchmark's report table."""
+    return format_table(
+        ExperimentResult.row_headers(), [result.as_row() for result in results], title=title
+    )
+
+
+def center_suspicion_metric(
+    scenario: Scenario,
+    algorithm_cls,
+    attribute: str,
+    duration: float,
+    seed: int,
+) -> Dict[str, int]:
+    """Return the centre's suspicion metric at 2/3 of the run and at the end.
+
+    ``attribute`` is ``"susp_level"`` for the paper's algorithms and ``"counters"``
+    for the baselines; a growing end value means the algorithm lost its guarantee
+    for the designated source under that scenario.
+    """
+    system = build_system(scenario, algorithm_cls, seed=seed)
+    system.run_until(2.0 * duration / 3.0)
+    mid = max(
+        getattr(shell.algorithm, attribute)[scenario.center]
+        for shell in system.alive_shells()
+    )
+    system.run_until(duration)
+    end = max(
+        getattr(shell.algorithm, attribute)[scenario.center]
+        for shell in system.alive_shells()
+    )
+    return {"mid": mid, "end": end, "growing": end > mid}
+
+
+def record(benchmark, results: Sequence[ExperimentResult], title: str) -> None:
+    """Attach the regenerated rows to the pytest-benchmark record and print them."""
+    table = result_table(results, title)
+    benchmark.extra_info["rows"] = [result.as_row() for result in results]
+    benchmark.extra_info["headers"] = ExperimentResult.row_headers()
+    print()
+    print(table)

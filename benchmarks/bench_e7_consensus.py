@@ -1,0 +1,77 @@
+"""E7 — consensus and the replicated log under the star assumption (Theorem 5).
+
+Measures, for two system sizes and a crash pattern, how long the replicated log
+takes to deliver a batch of commands submitted at every process, and the message
+cost of the whole stack (oracle + consensus).
+"""
+
+import pytest
+
+from repro.assumptions import IntermittentRotatingStarScenario
+from repro.simulation import CrashSchedule
+from repro.system_builders import build_consensus_system
+from repro.util.tables import format_table
+
+HORIZON = 400.0
+CHECK_INTERVAL = 10.0
+
+
+def run_replication(n, t, seed, crash_times):
+    scenario = IntermittentRotatingStarScenario(n=n, t=t, center=n - 1, seed=seed, max_gap=4)
+    system = build_consensus_system(
+        n=n, t=t, scenario=scenario, seed=seed, crash_schedule=CrashSchedule(crash_times)
+    )
+    expected = set()
+    for shell in system.shells:
+        command = f"cmd-{shell.pid}"
+        expected.add(command)
+        shell.algorithm.submit(command)
+
+    completion_time = None
+    time = 0.0
+    while time < HORIZON:
+        time += CHECK_INTERVAL
+        system.run_until(time)
+        delivered_everywhere = all(
+            expected <= set(shell.algorithm.delivered())
+            for shell in system.correct_shells()
+        )
+        if delivered_everywhere:
+            completion_time = time
+            break
+    system.run_until(HORIZON)
+    return {
+        "n": n,
+        "t": t,
+        "crashes": len(crash_times),
+        "completion_time": completion_time,
+        "messages": system.stats.total_sent,
+        "decided_positions": max(
+            len(shell.algorithm.decided_log()) for shell in system.correct_shells()
+        ),
+    }
+
+
+@pytest.mark.parametrize(
+    "n,t,crash_times",
+    [
+        (5, 2, {}),
+        (5, 2, {0: 40.0}),
+        (7, 3, {0: 40.0, 1: 90.0}),
+    ],
+)
+def test_e7_replicated_log_completion(benchmark, n, t, crash_times):
+    def run():
+        return run_replication(n, t, seed=7000 + n + len(crash_times), crash_times=crash_times)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["row"] = row
+    print(
+        "\n"
+        + format_table(
+            list(row.keys()),
+            [list(row.values())],
+            title=f"E7: replicated log, n={n}, t={t}, {len(crash_times)} crash(es)",
+        )
+    )
+    assert row["completion_time"] is not None, "commands were not delivered everywhere"

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+The benchmarks are full simulations; each is executed exactly once per pytest run
+(``rounds=1``) — the quantity of interest is the regenerated experiment table, not a
+micro-benchmark distribution.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the regenerated tables inline; they are also attached to the
+pytest-benchmark ``extra_info`` of every benchmark.)
+"""
+
+import sys
+from pathlib import Path
+
+# Make the shared harness importable as `_harness` regardless of rootdir layout.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

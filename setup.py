@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment this reproduction is developed in has no network access and no
+``wheel`` package, so the PEP-517 editable-install path (which builds a wheel) is
+unavailable.  This file lets ``pip install -e . --no-use-pep517`` fall back to the
+classic ``setup.py develop`` code path; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""Reproduction of *From an intermittent rotating star to a leader*.
+
+The package implements, on top of a deterministic discrete-event simulation of the
+asynchronous crash-prone system model ``AS_{n,t}`` used by the paper:
+
+* the paper's eventual-leader (Omega) algorithms — Figure 1, Figure 2, the
+  bounded-variable Figure 3 algorithm, and the Section-7 ``A_{f,g}`` generalisation
+  (:mod:`repro.core`);
+* the behavioural assumptions they rely on — the intermittent rotating t-star and all
+  of its special cases (:mod:`repro.assumptions`);
+* baseline Omega constructions from the related work (:mod:`repro.baselines`);
+* an Omega-based indulgent consensus and replicated log realising Theorem 5
+  (:mod:`repro.consensus`);
+* fair-lossy links and a reliable-channel stack (:mod:`repro.channels`);
+* measurement and experiment harnesses (:mod:`repro.analysis`);
+* an asyncio real-time runtime for the same algorithm objects (:mod:`repro.runtime`).
+
+Quickstart
+----------
+
+>>> from repro import build_omega_system, IntermittentRotatingStarScenario
+>>> scenario = IntermittentRotatingStarScenario(n=5, t=2, center=0, seed=1)
+>>> system = build_omega_system(n=5, t=2, scenario=scenario, seed=1)
+>>> system.run_until(600.0)
+>>> sorted({p.algorithm.leader() for p in system.alive_shells()})
+[0]
+"""
+
+from repro.core import (
+    Alive,
+    Environment,
+    Figure1Omega,
+    Figure2Omega,
+    Figure3Omega,
+    FgOmega,
+    LeaderOracle,
+    Message,
+    OmegaConfig,
+    Process,
+    Suspicion,
+)
+from repro.assumptions import (
+    AsynchronousAdversaryScenario,
+    CombinedMrtScenario,
+    EventualTMovingSourceScenario,
+    EventualTSourceScenario,
+    GrowingStarScenario,
+    IntermittentRotatingStarScenario,
+    MessagePatternScenario,
+    Scenario,
+)
+from repro.simulation import (
+    CrashSchedule,
+    DelayModel,
+    EventScheduler,
+    Network,
+    SimProcessShell,
+    System,
+    SystemConfig,
+    UniformDelay,
+)
+from repro.analysis import (
+    ExperimentResult,
+    LeaderPoller,
+    MessageStats,
+    run_omega_experiment,
+)
+from repro.system_builders import build_omega_system, build_consensus_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "Alive",
+    "Environment",
+    "Figure1Omega",
+    "Figure2Omega",
+    "Figure3Omega",
+    "FgOmega",
+    "LeaderOracle",
+    "Message",
+    "OmegaConfig",
+    "Process",
+    "Suspicion",
+    # assumptions
+    "AsynchronousAdversaryScenario",
+    "CombinedMrtScenario",
+    "EventualTMovingSourceScenario",
+    "EventualTSourceScenario",
+    "GrowingStarScenario",
+    "IntermittentRotatingStarScenario",
+    "MessagePatternScenario",
+    "Scenario",
+    # simulation
+    "CrashSchedule",
+    "DelayModel",
+    "EventScheduler",
+    "Network",
+    "SimProcessShell",
+    "System",
+    "SystemConfig",
+    "UniformDelay",
+    # analysis
+    "ExperimentResult",
+    "LeaderPoller",
+    "MessageStats",
+    "run_omega_experiment",
+    # builders
+    "build_omega_system",
+    "build_consensus_system",
+    # meta
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Measurement, tracing and experiment harness."""
+
+from repro.analysis.bounds import BoundsAudit, audit_bounds
+from repro.analysis.experiments import (
+    ExperimentResult,
+    build_system,
+    compare_algorithms,
+    run_omega_experiment,
+    summarize_run,
+)
+from repro.analysis.metrics import LeaderPoller, LeaderSample, MessageStats, summarize_levels
+from repro.analysis.trace import TraceEvent, Tracer
+
+__all__ = [
+    "BoundsAudit",
+    "ExperimentResult",
+    "LeaderPoller",
+    "LeaderSample",
+    "MessageStats",
+    "TraceEvent",
+    "Tracer",
+    "audit_bounds",
+    "build_system",
+    "compare_algorithms",
+    "run_omega_experiment",
+    "summarize_levels",
+    "summarize_run",
+]

@@ -1,0 +1,107 @@
+"""Audit of the boundedness claims of Section 6 (Figure 3).
+
+The paper proves three quantitative properties of the Figure 3 algorithm that can be
+checked mechanically on any execution:
+
+* **Lemma 8** — at every process, at all times,
+  ``max(susp_level) - min(susp_level) <= 1``;
+* **Theorem 4** — no entry of any ``susp_level`` array ever exceeds ``B + 1``, where
+  ``B`` is the largest value ever reached by the *smallest* entry of any array
+  (operationally: the final common value of the eventual leader's entry);
+* the **timeout values stabilise** (they are derived from ``max(susp_level)``).
+
+:class:`BoundsAudit` evaluates the three properties from the final state of a system
+plus the polling samples collected by a :class:`~repro.analysis.metrics.LeaderPoller`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import LeaderPoller
+from repro.core.omega_base import RotatingStarOmegaBase
+from repro.simulation.system import System
+
+
+@dataclasses.dataclass
+class BoundsAudit:
+    """Outcome of the boundedness audit of one execution.
+
+    Attributes
+    ----------
+    max_level_ever:
+        Largest suspicion-level entry observed anywhere (final state and samples).
+    bound_b:
+        The empirical ``B``: the largest value reached by the minimum entry of any
+        live process's array.
+    theorem4_holds:
+        ``max_level_ever <= bound_b + 1``.
+    lemma8_violations:
+        Number of sampled (process, time) points where ``max - min > 1``.
+    timeouts_stabilized:
+        True when no live process changed its timeout over the sampling tail.
+    final_timeouts:
+        pid -> last line-11 timeout value.
+    """
+
+    max_level_ever: int
+    bound_b: int
+    theorem4_holds: bool
+    lemma8_violations: int
+    timeouts_stabilized: bool
+    final_timeouts: Dict[int, float]
+
+    def as_row(self) -> List[object]:
+        """Row representation used by the benchmark tables."""
+        return [
+            self.max_level_ever,
+            self.bound_b,
+            "yes" if self.theorem4_holds else "NO",
+            self.lemma8_violations,
+            "yes" if self.timeouts_stabilized else "NO",
+        ]
+
+
+def audit_bounds(system: System, poller: Optional[LeaderPoller] = None) -> BoundsAudit:
+    """Audit the boundedness claims on a finished (or paused) execution.
+
+    Crashed processes are included for ``max_level_ever`` (their arrays simply froze
+    at crash time) but only live processes contribute to ``B`` — the paper defines
+    ``B`` from the values the arrays converge to, which crashed processes never do.
+    """
+    max_level_ever = 0
+    bound_b = 0
+    final_timeouts: Dict[int, float] = {}
+    for shell in system.shells:
+        algorithm = shell.algorithm
+        if not isinstance(algorithm, RotatingStarOmegaBase):
+            continue
+        levels = algorithm.susp_level_snapshot()
+        max_level_ever = max(max_level_ever, algorithm.susp_level.max_ever)
+        if not shell.crashed:
+            bound_b = max(bound_b, min(levels.values()))
+            final_timeouts[shell.pid] = algorithm.current_timeout
+
+    lemma8_violations = 0
+    timeouts_stabilized = True
+    if poller is not None:
+        max_level_ever = max(max_level_ever, poller.max_susp_level())
+        lemma8_violations = poller.spread_violations()
+        timeouts_stabilized = poller.timeout_stabilized()
+
+    # Also check the invariant on the final states (cheap, independent of polling).
+    for shell in system.alive_shells():
+        algorithm = shell.algorithm
+        if isinstance(algorithm, RotatingStarOmegaBase):
+            if algorithm.susp_level.spread() > 1:
+                lemma8_violations += 1
+
+    return BoundsAudit(
+        max_level_ever=max_level_ever,
+        bound_b=bound_b,
+        theorem4_holds=max_level_ever <= bound_b + 1,
+        lemma8_violations=lemma8_violations,
+        timeouts_stabilized=timeouts_stabilized,
+        final_timeouts=final_timeouts,
+    )

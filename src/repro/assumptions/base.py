@@ -1,0 +1,81 @@
+"""Scenario abstraction.
+
+A *scenario* packages everything needed to generate executions of ``AS_{n,t}`` that
+satisfy (or deliberately violate) one of the behavioural assumptions discussed in the
+paper: a delay model enforcing the assumption, the identity of the star centre (when
+there is one), which processes must not crash for the assumption to hold, and a
+recommended algorithm configuration whose time constants are consistent with the
+scenario's delay constants.
+
+Concrete scenarios live in :mod:`repro.assumptions.scenarios` (the intermittent
+rotating t-star and every special case the paper lists in Section 3) and
+:mod:`repro.assumptions.growing` (the ``A_{f,g}`` model of Section 7).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Optional
+
+from repro.core.config import OmegaConfig
+from repro.simulation.delays import DelayModel
+from repro.util.validation import validate_process_count
+
+
+class Scenario(abc.ABC):
+    """A behavioural assumption made executable.
+
+    Attributes
+    ----------
+    n, t:
+        System parameters the scenario was built for.
+    name:
+        Short machine-friendly name (used in benchmark tables).
+    """
+
+    name: str = "scenario"
+
+    def __init__(self, n: int, t: int) -> None:
+        validate_process_count(n, t)
+        self.n = n
+        self.t = t
+
+    @abc.abstractmethod
+    def build_delay_model(self) -> DelayModel:
+        """Return a fresh delay model enforcing the scenario.
+
+        A fresh model is returned on every call so that two systems built from the
+        same scenario do not share mutable RNG state.
+        """
+
+    @property
+    def center(self) -> Optional[int]:
+        """The star centre / source process, or ``None`` when the scenario has none."""
+        return None
+
+    def protected_processes(self) -> FrozenSet[int]:
+        """Processes that must stay correct for the assumption to hold.
+
+        Crash schedules used with this scenario must not crash these processes; the
+        default is the centre (when any).
+        """
+        if self.center is None:
+            return frozenset()
+        return frozenset({self.center})
+
+    def guarantees_eventual_leader(self) -> bool:
+        """True when the scenario satisfies an assumption under which the paper
+        proves eventual leadership (used by tests to pick the right assertion)."""
+        return True
+
+    def recommended_omega_config(self) -> OmegaConfig:
+        """An :class:`~repro.core.config.OmegaConfig` whose time constants match the
+        scenario's delay constants (ALIVE period vs. timely bound, etc.)."""
+        return OmegaConfig()
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self.n}, t={self.t})"

@@ -1,0 +1,110 @@
+"""The ``A_{f,g}`` scenario of Section 7: growing delays and growing star gaps.
+
+Section 7 weakens the assumption ``A`` in two directions:
+
+* the gap between consecutive star rounds may grow: ``s_{k+1} - s_k <= D + f(s_k)``;
+* the delay of "timely" star messages may grow: an ``ALIVE(rn)`` message is
+  ``(δ, g)``-timely when received within ``δ + g(rn)`` of its sending.
+
+Both ``f`` and ``g`` are known to the processes (the algorithm of Section 7 uses them
+to widen its suspicion window and its timeout); the scenario below produces
+executions in which exactly those weaker bounds hold, so the
+:class:`~repro.core.figure_fg.FgOmega` algorithm can be exercised against it
+(experiment E5), and the plain Figure 3 algorithm can be shown to cope only while the
+growth stays below its adaptive timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.assumptions.scenarios import _StarScenarioBase
+from repro.assumptions.star import StarDelayModel, StarTiming
+from repro.core.config import OmegaConfig
+from repro.simulation.delays import DelayModel, MessageContext
+
+
+class GrowingStarDelayModel(StarDelayModel):
+    """Star delay model whose timely bound grows as ``δ + g(rn)``."""
+
+    def __init__(self, g: Callable[[int], float], *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._g = g
+
+    def timely_delay(self, rn: int) -> Tuple[float, float]:
+        low, high = super().timely_delay(rn)
+        extra = float(self._g(rn))
+        if extra < 0:
+            raise ValueError(f"g({rn}) must be non-negative, got {extra}")
+        return (low + extra, high + extra)
+
+
+class GrowingStarScenario(_StarScenarioBase):
+    """Scenario realising ``A_{f,g}``.
+
+    Parameters
+    ----------
+    f:
+        Extra star-gap function (``k``-th star round index -> extra rounds).  The gap
+        between the ``k``-th and ``(k+1)``-th star rounds is at most
+        ``max_gap + f(k)``.
+    g:
+        Extra timeliness function (round number -> extra delay added to δ).
+    """
+
+    name = "growing-star(A_fg)"
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        center: int = 0,
+        seed: int = 0,
+        max_gap: int = 2,
+        f: Optional[Callable[[int], int]] = None,
+        g: Optional[Callable[[int], float]] = None,
+        timing: Optional[StarTiming] = None,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("point_mode", "timely")
+        super().__init__(
+            n,
+            t,
+            center=center,
+            seed=seed,
+            max_gap=max_gap,
+            timing=timing,
+            **kwargs,
+        )
+        self.f = f if f is not None else (lambda k: 0)
+        self.g = g if g is not None else (lambda rn: 0.0)
+
+    def build_schedule(self):
+        schedule = super().build_schedule()
+        schedule.gap_function = self.f
+        return schedule
+
+    def build_delay_model(self) -> DelayModel:
+        return GrowingStarDelayModel(
+            self.g,
+            schedule=self.build_schedule(),
+            policy=self.background_policy(),
+            timing=self.timing,
+            seed=self.seed,
+        )
+
+    def recommended_omega_config(self) -> OmegaConfig:
+        """Config for the matching :class:`~repro.core.figure_fg.FgOmega` algorithm.
+
+        The algorithm must know ``f`` and ``g`` (Section 7).  The window extension is
+        expressed in rounds; the scenario's ``f`` is indexed by star-round position,
+        which the algorithm cannot observe, so the recommended window extension is
+        the conservative round-indexed bound ``f(rn)`` itself (a non-decreasing
+        over-approximation is always sound — it only widens the window).
+        """
+        return OmegaConfig(
+            alive_period=1.0,
+            timeout_unit=1.0,
+            f=lambda rn: int(self.f(rn)),
+            g=lambda rn: float(self.g(rn)),
+        )

@@ -1,0 +1,131 @@
+"""Baseline 1 — heartbeat Omega with per-link adaptive timeouts.
+
+This is the classical eventually-timely-links construction (in the spirit of
+Larrea, Fernández & Arévalo [14] and of the ``Omega`` modules used with Paxos):
+every process broadcasts heartbeats; every process watches every other process with
+an adaptive timeout and trusts the smallest non-suspected identifier.
+
+Soundness requires the output links of the eventually elected process (in practice:
+of the smallest correct identifier) to be eventually timely towards **every** correct
+process.  The construction has no notion of quorums, winning messages or rotating
+sets, so a single receiver that keeps timing out on the smallest correct process —
+e.g. under the rotating-persecution scenario, where every sender's delays grow
+without bound for ever-longer stretches — keeps demoting it and the output never
+stabilises.  That is exactly the coverage gap experiment E6 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
+from repro.baselines.messages import Heartbeat
+from repro.util.validation import require_positive, validate_process_count
+
+_HEARTBEAT_TIMER = "heartbeat"
+_CHECK_TIMER = "check"
+
+
+class StableLeaderOmega(Process, LeaderOracle):
+    """Heartbeat-and-timeout Omega (all-timely-links style baseline).
+
+    Parameters
+    ----------
+    pid, n, t:
+        Usual system parameters (``t`` is unused by the algorithm itself but kept
+        for a uniform constructor signature across algorithms).
+    heartbeat_period:
+        Period between two heartbeat broadcasts.
+    initial_timeout:
+        Initial per-process timeout.
+    timeout_increment:
+        Additive increase applied to a process's timeout after a false suspicion.
+    check_period:
+        How often deadlines are (re-)evaluated.
+    """
+
+    variant_name = "baseline-heartbeat"
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        heartbeat_period: float = 1.0,
+        initial_timeout: float = 2.0,
+        timeout_increment: float = 1.0,
+        check_period: float = 0.5,
+        config: Optional[object] = None,
+    ) -> None:
+        validate_process_count(n, t)
+        require_positive(heartbeat_period, "heartbeat_period")
+        require_positive(initial_timeout, "initial_timeout")
+        require_positive(check_period, "check_period")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.heartbeat_period = heartbeat_period
+        self.timeout_increment = timeout_increment
+        self.check_period = check_period
+        self.sequence = 0
+        self.timeouts: Dict[int, float] = {
+            other: initial_timeout for other in range(n) if other != pid
+        }
+        self.deadlines: Dict[int, float] = {}
+        self.suspected: Set[int] = set()
+        #: Total number of (false) suspicions, for reporting.
+        self.false_suspicions = 0
+        self.leader_history = []
+
+    # ------------------------------------------------------------------ oracle --
+    def leader(self) -> int:
+        """Smallest identifier currently not suspected (self is never suspected)."""
+        candidates = [pid for pid in range(self.n) if pid == self.pid or pid not in self.suspected]
+        return min(candidates)
+
+    # ------------------------------------------------------------------ lifecycle --
+    def on_start(self, env: Environment) -> None:
+        for other in self.timeouts:
+            self.deadlines[other] = env.now + self.timeouts[other]
+        self._broadcast_heartbeat(env)
+        env.set_timer(self.heartbeat_period, _HEARTBEAT_TIMER)
+        env.set_timer(self.check_period, _CHECK_TIMER)
+        self._record_leader(env)
+
+    def on_timer(self, env: Environment, timer: TimerHandle) -> None:
+        if timer.name == _HEARTBEAT_TIMER:
+            self._broadcast_heartbeat(env)
+            env.set_timer(self.heartbeat_period, _HEARTBEAT_TIMER)
+        elif timer.name == _CHECK_TIMER:
+            self._check_deadlines(env)
+            env.set_timer(self.check_period, _CHECK_TIMER)
+        else:
+            raise ValueError(f"unknown timer {timer.name!r}")
+
+    def on_message(self, env: Environment, sender: int, message: Message) -> None:
+        if not isinstance(message, Heartbeat):
+            raise TypeError(f"baseline-heartbeat received unexpected {message!r}")
+        if sender in self.suspected:
+            # False suspicion: rehabilitate the sender and give it more slack.
+            self.suspected.discard(sender)
+            self.timeouts[sender] += self.timeout_increment
+            self.false_suspicions += 1
+        self.deadlines[sender] = env.now + self.timeouts[sender]
+        self._record_leader(env)
+
+    # ------------------------------------------------------------------ internals --
+    def _broadcast_heartbeat(self, env: Environment) -> None:
+        self.sequence += 1
+        env.broadcast(Heartbeat(rn=self.sequence), include_self=False)
+
+    def _check_deadlines(self, env: Environment) -> None:
+        for other, deadline in self.deadlines.items():
+            if other not in self.suspected and env.now > deadline:
+                self.suspected.add(other)
+        self._record_leader(env)
+
+    def _record_leader(self, env: Environment) -> None:
+        current = self.leader()
+        if not self.leader_history or self.leader_history[-1][1] != current:
+            self.leader_history.append((env.now, current))
+            env.log("leader_change", leader=current)

@@ -1,0 +1,129 @@
+"""Baseline 3 — time-free query/response Omega (message-pattern style).
+
+A construction in the spirit of Mostéfaoui, Mourgaya & Raynal [16]: it uses **no
+timer whatsoever**.  Every process periodically broadcasts a query; a query
+terminates when ``n - t`` responses (counting the querier itself) have been
+received; the processes whose responses were not among those first ``n - t`` are the
+query's *losers*.  Each terminated query is reported; when ``n - t`` processes
+report the same process as a loser for their query of the same index, that process's
+counter is incremented.  The trusted process is the lexicographically smallest
+``(counter, id)``.
+
+Because the construction is time-free it keeps working when delays grow without
+bound, provided the message-pattern assumption holds (a fixed star whose centre's
+responses are always winning at the points).  Conversely it cannot exploit timely
+links that are *not* winning — the strict-t-source scenario of experiment E6 — while
+the paper's algorithm exploits both properties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.baselines.messages import LoserReport, Query, Response
+from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
+from repro.core.state import lexicographic_min
+from repro.util.validation import require_positive, validate_process_count
+
+_QUERY_TIMER = "query"
+
+
+class QueryResponseOmega(Process, LeaderOracle):
+    """Query/response (time-free) Omega baseline."""
+
+    variant_name = "baseline-message-pattern"
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        query_period: float = 1.0,
+        config: Optional[object] = None,
+    ) -> None:
+        validate_process_count(n, t)
+        require_positive(query_period, "query_period")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.alpha = n - t
+        self.query_period = query_period
+
+        self.query_number = 0
+        self.counters: Dict[int, int] = {other: 0 for other in range(n)}
+        #: Responders of the currently open queries: query number -> set of pids.
+        self.responders: Dict[int, Set[int]] = {}
+        #: Queries that already terminated (their losers were reported).
+        self.terminated: Set[int] = set()
+        #: Loser reports: query index -> suspect -> number of reporting processes.
+        self.reports: Dict[int, Dict[int, int]] = {}
+        self.leader_history = []
+
+    # ------------------------------------------------------------------ oracle --
+    def leader(self) -> int:
+        """Process with the lexicographically smallest ``(counter, id)``."""
+        return lexicographic_min(self.counters)
+
+    # ------------------------------------------------------------------ lifecycle --
+    def on_start(self, env: Environment) -> None:
+        self._broadcast_query(env)
+        env.set_timer(self.query_period, _QUERY_TIMER)
+        self._record_leader(env)
+
+    def on_timer(self, env: Environment, timer: TimerHandle) -> None:
+        if timer.name != _QUERY_TIMER:
+            raise ValueError(f"unknown timer {timer.name!r}")
+        self._broadcast_query(env)
+        env.set_timer(self.query_period, _QUERY_TIMER)
+
+    def on_message(self, env: Environment, sender: int, message: Message) -> None:
+        if isinstance(message, Query):
+            snapshot = tuple(sorted(self.counters.items()))
+            env.send(sender, Response(rn=message.rn, counters=snapshot))
+        elif isinstance(message, Response):
+            self._merge_counters(message.counters)
+            self._on_response(env, sender, message.rn)
+        elif isinstance(message, LoserReport):
+            self._on_report(message)
+        else:
+            raise TypeError(f"baseline-message-pattern received unexpected {message!r}")
+        self._record_leader(env)
+
+    # ------------------------------------------------------------------ internals --
+    def _broadcast_query(self, env: Environment) -> None:
+        self.query_number += 1
+        # The querier is an implicit (instantaneous) responder to its own query.
+        self.responders[self.query_number] = {self.pid}
+        env.broadcast(Query(rn=self.query_number), include_self=False)
+
+    def _merge_counters(self, counters) -> None:
+        for pid, value in counters:
+            if value > self.counters.get(pid, 0):
+                self.counters[pid] = value
+
+    def _on_response(self, env: Environment, sender: int, query_number: int) -> None:
+        if query_number in self.terminated:
+            return
+        responders = self.responders.setdefault(query_number, {self.pid})
+        responders.add(sender)
+        if len(responders) >= self.alpha:
+            losers = frozenset(
+                pid for pid in range(self.n) if pid not in responders
+            )
+            self.terminated.add(query_number)
+            self.responders.pop(query_number, None)
+            env.broadcast(LoserReport(rn=query_number, losers=losers), include_self=True)
+
+    def _on_report(self, message: LoserReport) -> None:
+        table = self.reports.setdefault(message.rn, {})
+        for loser in message.losers:
+            count = table.get(loser, 0) + 1
+            table[loser] = count
+            if count == self.alpha:
+                self.counters[loser] = self.counters[loser] + 1
+
+    def _record_leader(self, env: Environment) -> None:
+        current = self.leader()
+        if not self.leader_history or self.leader_history[-1][1] != current:
+            self.leader_history.append((env.now, current))
+            env.log("leader_change", leader=current)

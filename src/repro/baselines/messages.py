@@ -1,0 +1,74 @@
+"""Messages used by the baseline Omega algorithms.
+
+The field carrying the heartbeat / query sequence number is deliberately named
+``rn`` so the scenario delay models of :mod:`repro.assumptions` apply the same
+per-round constraints (timely / winning / slow) to the baselines' traffic as they
+apply to the paper's ``ALIVE`` messages — this is what makes the coverage
+comparison of experiment E6 apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Tuple
+
+from repro.core.interfaces import Message
+
+
+@dataclasses.dataclass(frozen=True)
+class Heartbeat(Message):
+    """Periodic liveness beacon carrying the sender's counter array (gossip)."""
+
+    rn: int
+    counters: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def tag(self) -> str:
+        return "HEARTBEAT"
+
+
+@dataclasses.dataclass(frozen=True)
+class Accusation(Message):
+    """Quorum-style accusation: *suspects* missed heartbeat round ``rn``."""
+
+    rn: int
+    suspects: FrozenSet[int]
+
+    @property
+    def tag(self) -> str:
+        return "ACCUSATION"
+
+
+@dataclasses.dataclass(frozen=True)
+class Query(Message):
+    """Query number ``rn`` of the sender (message-pattern baseline)."""
+
+    rn: int
+
+    @property
+    def tag(self) -> str:
+        return "QUERY"
+
+
+@dataclasses.dataclass(frozen=True)
+class Response(Message):
+    """Response to the destination's query ``rn``, carrying gossiped counters."""
+
+    rn: int
+    counters: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def tag(self) -> str:
+        return "RESPONSE"
+
+
+@dataclasses.dataclass(frozen=True)
+class LoserReport(Message):
+    """The sender's query ``rn`` terminated without responses from *losers*."""
+
+    rn: int
+    losers: FrozenSet[int]
+
+    @property
+    def tag(self) -> str:
+        return "LOSER_REPORT"

@@ -1,0 +1,134 @@
+"""Baseline 2 — timer-driven accusation Omega (eventual t-source style).
+
+A round-based construction in the spirit of the eventual-t-source algorithms of
+Aguilera, Delporte-Gallet, Fauconnier & Toueg [2]: every process broadcasts
+``HEARTBEAT(rn)`` rounds; a receiver that has not heard round ``rn`` from some
+process by the time its (adaptive) round timer expires accuses that process; a
+process whose accusation count reaches ``n - t`` for the same round has its counter
+incremented; the process with the lexicographically smallest ``(counter, id)`` is
+trusted.
+
+Differences with the paper's Figure 1-3 algorithm (these are the point of the
+baseline):
+
+* the receiving round is closed purely by the timer — there is **no** "wait for
+  ``n - t`` ALIVE messages" gate, hence no way to benefit from *winning* messages;
+* there is no line-``*`` round-window filtering, hence no tolerance for an
+  *intermittent* star;
+* there is no line-``**`` minimality test, hence unbounded counters and timeouts.
+
+Consequently it stabilises under the eventual t-source and t-moving-source
+scenarios (the timely star keeps the centre quorum-free once its adaptive timeout
+exceeds δ) but fails under the message-pattern scenario with growing winning delays
+and under the rotating-persecution scenario, where the paper's algorithm succeeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.baselines.messages import Accusation, Heartbeat
+from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
+from repro.core.state import lexicographic_min
+from repro.util.validation import require_positive, validate_process_count
+
+_HEARTBEAT_TIMER = "heartbeat"
+_ROUND_TIMER = "round"
+
+
+class TimerQuorumOmega(Process, LeaderOracle):
+    """Timer-only, quorum-accusation Omega baseline."""
+
+    variant_name = "baseline-t-source"
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        heartbeat_period: float = 1.0,
+        initial_timeout: float = 3.0,
+        timeout_unit: float = 1.0,
+        config: Optional[object] = None,
+    ) -> None:
+        validate_process_count(n, t)
+        require_positive(heartbeat_period, "heartbeat_period")
+        require_positive(timeout_unit, "timeout_unit")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.alpha = n - t
+        self.heartbeat_period = heartbeat_period
+        self.initial_timeout = initial_timeout
+        self.timeout_unit = timeout_unit
+
+        self.send_round = 0
+        self.recv_round = 1
+        self.counters: Dict[int, int] = {other: 0 for other in range(n)}
+        self.received: Dict[int, Set[int]] = {}
+        self.accusations: Dict[int, Dict[int, int]] = {}
+        self.leader_history = []
+
+    # ------------------------------------------------------------------ oracle --
+    def leader(self) -> int:
+        """Process with the lexicographically smallest ``(counter, id)``."""
+        return lexicographic_min(self.counters)
+
+    # ------------------------------------------------------------------ lifecycle --
+    def on_start(self, env: Environment) -> None:
+        self._broadcast_heartbeat(env)
+        env.set_timer(self.heartbeat_period, _HEARTBEAT_TIMER)
+        env.set_timer(self.initial_timeout, _ROUND_TIMER)
+        self._record_leader(env)
+
+    def on_timer(self, env: Environment, timer: TimerHandle) -> None:
+        if timer.name == _HEARTBEAT_TIMER:
+            self._broadcast_heartbeat(env)
+            env.set_timer(self.heartbeat_period, _HEARTBEAT_TIMER)
+        elif timer.name == _ROUND_TIMER:
+            self._close_round(env)
+        else:
+            raise ValueError(f"unknown timer {timer.name!r}")
+
+    def on_message(self, env: Environment, sender: int, message: Message) -> None:
+        if isinstance(message, Heartbeat):
+            for pid, value in message.counters:
+                if value > self.counters.get(pid, 0):
+                    self.counters[pid] = value
+            if message.rn >= self.recv_round:
+                self.received.setdefault(message.rn, {self.pid}).add(sender)
+        elif isinstance(message, Accusation):
+            self._on_accusation(message)
+        else:
+            raise TypeError(f"baseline-t-source received unexpected {message!r}")
+        self._record_leader(env)
+
+    # ------------------------------------------------------------------ internals --
+    def _broadcast_heartbeat(self, env: Environment) -> None:
+        self.send_round += 1
+        snapshot = tuple(sorted(self.counters.items()))
+        env.broadcast(Heartbeat(rn=self.send_round, counters=snapshot), include_self=False)
+
+    def _close_round(self, env: Environment) -> None:
+        rn = self.recv_round
+        received = self.received.get(rn, {self.pid})
+        suspects = frozenset(pid for pid in range(self.n) if pid not in received)
+        env.broadcast(Accusation(rn=rn, suspects=suspects), include_self=True)
+        self.received.pop(rn, None)
+        self.recv_round = rn + 1
+        timeout = self.initial_timeout + self.timeout_unit * max(self.counters.values())
+        env.set_timer(timeout, _ROUND_TIMER)
+
+    def _on_accusation(self, message: Accusation) -> None:
+        table = self.accusations.setdefault(message.rn, {})
+        for suspect in message.suspects:
+            count = table.get(suspect, 0) + 1
+            table[suspect] = count
+            if count == self.alpha:
+                self.counters[suspect] = self.counters[suspect] + 1
+
+    def _record_leader(self, env: Environment) -> None:
+        current = self.leader()
+        if not self.leader_history or self.leader_history[-1][1] != current:
+            self.leader_history.append((env.now, current))
+            env.log("leader_change", leader=current)

@@ -1,0 +1,13 @@
+"""Fair-lossy links and the reliable-channel stack built over them."""
+
+from repro.channels.lossy import BernoulliLossModel, PeriodicLossModel
+from repro.channels.messages import Ack, Data
+from repro.channels.reliable import ReliableChannel
+
+__all__ = [
+    "Ack",
+    "BernoulliLossModel",
+    "Data",
+    "PeriodicLossModel",
+    "ReliableChannel",
+]

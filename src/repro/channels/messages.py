@@ -1,0 +1,33 @@
+"""Messages of the reliable-channel stack (acknowledged transmission)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.interfaces import Message
+
+
+@dataclasses.dataclass(frozen=True)
+class Data(Message):
+    """A payload carried over a fair-lossy link, identified by a per-link sequence
+    number so the receiver can acknowledge and de-duplicate it."""
+
+    seq: int
+    inner: Message
+
+    @property
+    def tag(self) -> str:
+        # Expose the inner tag so delay models and statistics treat the carried
+        # protocol message (e.g. ALIVE) as what it is; the envelope is transparent.
+        return self.inner.tag
+
+
+@dataclasses.dataclass(frozen=True)
+class Ack(Message):
+    """Acknowledgement of the :class:`Data` message with the same sequence number."""
+
+    seq: int
+
+    @property
+    def tag(self) -> str:
+        return "ACK"

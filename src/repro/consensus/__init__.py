@@ -1,0 +1,32 @@
+"""Omega-based consensus and replicated log (Theorem 5)."""
+
+from repro.consensus.instance import NO_BALLOT, ConsensusInstance, InstanceState
+from repro.consensus.messages import (
+    AcceptRequest,
+    Accepted,
+    Decide,
+    Forward,
+    Nack,
+    Prepare,
+    Promise,
+)
+from repro.consensus.replicated_log import NOOP, ReplicatedLog
+from repro.consensus.stack import LOG_CHANNEL, OMEGA_CHANNEL, OmegaConsensusStack
+
+__all__ = [
+    "AcceptRequest",
+    "Accepted",
+    "ConsensusInstance",
+    "Decide",
+    "Forward",
+    "InstanceState",
+    "LOG_CHANNEL",
+    "NOOP",
+    "NO_BALLOT",
+    "Nack",
+    "OMEGA_CHANNEL",
+    "OmegaConsensusStack",
+    "Prepare",
+    "Promise",
+    "ReplicatedLog",
+]

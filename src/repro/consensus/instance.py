@@ -1,0 +1,240 @@
+"""Single-decree, ballot-based consensus instance.
+
+Safety (agreement + validity) holds in a fully asynchronous system with up to ``t``
+crashes — it relies only on quorum intersection (``t < n/2``) and ballot ordering,
+never on the behaviour of the leader oracle.  This is the *indulgence* property the
+paper discusses in Section 1.1: a misbehaving oracle can only delay decisions, never
+produce wrong ones.  Liveness is obtained when the oracle stabilises on a correct
+leader (Theorem 5: majority of correct processes + intermittent rotating t-star).
+
+The class below holds the acceptor, proposer and learner state of **one** process for
+**one** instance; the replicated log of :mod:`repro.consensus.replicated_log` owns a
+collection of them and moves messages in and out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.consensus.messages import (
+    AcceptRequest,
+    Accepted,
+    Decide,
+    Forward,
+    Nack,
+    Prepare,
+    Promise,
+)
+from repro.core.interfaces import Environment, Message
+
+#: Sentinel meaning "no ballot accepted yet".
+NO_BALLOT = -1
+
+
+@dataclasses.dataclass
+class InstanceState:
+    """State of one consensus instance at one process."""
+
+    instance: int
+    # Acceptor state.
+    promised_ballot: int = NO_BALLOT
+    accepted_ballot: int = NO_BALLOT
+    accepted_value: Any = None
+    # Learner state.
+    decided: bool = False
+    decided_value: Any = None
+    # Proposer state (used only while this process believes it is the leader).
+    proposing: bool = False
+    proposal_value: Any = None
+    current_ballot: int = NO_BALLOT
+    promises: Dict[int, Promise] = dataclasses.field(default_factory=dict)
+    accepts: Set[int] = dataclasses.field(default_factory=set)
+    phase: str = "idle"  # idle | prepare | accept | done
+
+
+class ConsensusInstance:
+    """Message-driven consensus logic for one instance at one process."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        quorum: int,
+        instance: int,
+        on_decide: Callable[[int, Any], None],
+    ) -> None:
+        self.pid = pid
+        self.n = n
+        self.quorum = quorum
+        self.state = InstanceState(instance=instance)
+        self._on_decide = on_decide
+
+    # ------------------------------------------------------------------ queries --
+    @property
+    def decided(self) -> bool:
+        """True once this process has learnt the decision."""
+        return self.state.decided
+
+    @property
+    def decided_value(self) -> Any:
+        """The decided value (``None`` until :attr:`decided`)."""
+        return self.state.decided_value
+
+    # ------------------------------------------------------------------ proposer --
+    def start_proposal(self, env: Environment, value: Any, attempt: int) -> None:
+        """Start (or restart with a higher ballot) a proposal for *value*.
+
+        Called by the replicated log when this process currently trusts itself as
+        leader; *attempt* is a monotonically increasing per-instance attempt counter
+        so the ballot ``attempt * n + pid`` grows at every retry.
+        """
+        if self.state.decided:
+            return
+        state = self.state
+        state.proposing = True
+        state.proposal_value = value
+        state.current_ballot = attempt * self.n + self.pid
+        state.promises = {}
+        state.accepts = set()
+        state.phase = "prepare"
+        env.broadcast(
+            Prepare(instance=state.instance, ballot=state.current_ballot),
+            include_self=True,
+        )
+
+    def stop_proposal(self) -> None:
+        """Abandon the current proposal attempt (e.g. this process lost leadership)."""
+        self.state.proposing = False
+        self.state.phase = "idle"
+
+    # ------------------------------------------------------------------ dispatch --
+    def on_message(self, env: Environment, sender: int, message: Message) -> None:
+        """Process one consensus message addressed to this instance."""
+        if isinstance(message, Prepare):
+            self._on_prepare(env, sender, message)
+        elif isinstance(message, Promise):
+            self._on_promise(env, sender, message)
+        elif isinstance(message, AcceptRequest):
+            self._on_accept_request(env, sender, message)
+        elif isinstance(message, Accepted):
+            self._on_accepted(env, sender, message)
+        elif isinstance(message, Nack):
+            self._on_nack(env, sender, message)
+        elif isinstance(message, Decide):
+            self._learn(env, message.value)
+        else:
+            raise TypeError(f"consensus instance received unexpected {message!r}")
+
+    # ------------------------------------------------------------------ acceptor --
+    def _on_prepare(self, env: Environment, sender: int, message: Prepare) -> None:
+        state = self.state
+        if message.ballot > state.promised_ballot:
+            state.promised_ballot = message.ballot
+            env.send(
+                sender,
+                Promise(
+                    instance=state.instance,
+                    ballot=message.ballot,
+                    accepted_ballot=state.accepted_ballot,
+                    accepted_value=state.accepted_value,
+                ),
+            )
+        else:
+            env.send(
+                sender,
+                Nack(
+                    instance=state.instance,
+                    ballot=message.ballot,
+                    promised=state.promised_ballot,
+                ),
+            )
+
+    def _on_accept_request(
+        self, env: Environment, sender: int, message: AcceptRequest
+    ) -> None:
+        state = self.state
+        if message.ballot >= state.promised_ballot:
+            state.promised_ballot = message.ballot
+            state.accepted_ballot = message.ballot
+            state.accepted_value = message.value
+            env.send(
+                sender,
+                Accepted(
+                    instance=state.instance, ballot=message.ballot, value=message.value
+                ),
+            )
+        else:
+            env.send(
+                sender,
+                Nack(
+                    instance=state.instance,
+                    ballot=message.ballot,
+                    promised=state.promised_ballot,
+                ),
+            )
+
+    # ------------------------------------------------------------------ proposer --
+    def _on_promise(self, env: Environment, sender: int, message: Promise) -> None:
+        state = self.state
+        if (
+            not state.proposing
+            or state.phase != "prepare"
+            or message.ballot != state.current_ballot
+        ):
+            return
+        state.promises[sender] = message
+        if len(state.promises) < self.quorum:
+            return
+        # Classic Paxos value selection: adopt the value accepted at the highest
+        # ballot among the promises, if any; otherwise propose our own value.
+        best: Optional[Promise] = None
+        for promise in state.promises.values():
+            if promise.accepted_ballot != NO_BALLOT and (
+                best is None or promise.accepted_ballot > best.accepted_ballot
+            ):
+                best = promise
+        value = best.accepted_value if best is not None else state.proposal_value
+        state.phase = "accept"
+        state.accepts = set()
+        env.broadcast(
+            AcceptRequest(
+                instance=state.instance, ballot=state.current_ballot, value=value
+            ),
+            include_self=True,
+        )
+
+    def _on_accepted(self, env: Environment, sender: int, message: Accepted) -> None:
+        state = self.state
+        if (
+            not state.proposing
+            or state.phase != "accept"
+            or message.ballot != state.current_ballot
+        ):
+            return
+        state.accepts.add(sender)
+        if len(state.accepts) >= self.quorum:
+            state.phase = "done"
+            env.broadcast(
+                Decide(instance=state.instance, value=message.value), include_self=True
+            )
+
+    def _on_nack(self, env: Environment, sender: int, message: Nack) -> None:
+        state = self.state
+        if not state.proposing or message.ballot != state.current_ballot:
+            return
+        # A higher ballot exists: abandon this attempt, the retry timer of the
+        # replicated log will start a fresh one with a higher ballot if we still
+        # trust ourselves as leader.
+        state.phase = "idle"
+
+    # ------------------------------------------------------------------ learner --
+    def _learn(self, env: Environment, value: Any) -> None:
+        state = self.state
+        if state.decided:
+            return
+        state.decided = True
+        state.decided_value = value
+        state.proposing = False
+        state.phase = "done"
+        self._on_decide(state.instance, value)

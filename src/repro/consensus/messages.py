@@ -1,0 +1,103 @@
+"""Messages of the Omega-based consensus / replicated-log layer.
+
+The consensus protocol is a classical ballot-based, quorum-ack single-decree
+protocol (Paxos-like, in the family of the leader-based indulgent consensus
+algorithms the paper cites [8, 12, 17]).  Ballots are totally ordered integers;
+ballot ``b`` of proposer ``p`` in an ``n``-process system is encoded as
+``b = attempt * n + p`` so that two proposers never use the same ballot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.core.interfaces import Message
+
+
+@dataclasses.dataclass(frozen=True)
+class Prepare(Message):
+    """Phase-1a: the proposer asks acceptors to promise ballot ``ballot``."""
+
+    instance: int
+    ballot: int
+
+    @property
+    def tag(self) -> str:
+        return "PREPARE"
+
+
+@dataclasses.dataclass(frozen=True)
+class Promise(Message):
+    """Phase-1b: an acceptor promises ``ballot`` and reveals its accepted value."""
+
+    instance: int
+    ballot: int
+    accepted_ballot: int
+    accepted_value: Any
+
+    @property
+    def tag(self) -> str:
+        return "PROMISE"
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceptRequest(Message):
+    """Phase-2a: the proposer asks acceptors to accept ``value`` at ``ballot``."""
+
+    instance: int
+    ballot: int
+    value: Any
+
+    @property
+    def tag(self) -> str:
+        return "ACCEPT"
+
+
+@dataclasses.dataclass(frozen=True)
+class Accepted(Message):
+    """Phase-2b: an acceptor acknowledges having accepted ``value`` at ``ballot``."""
+
+    instance: int
+    ballot: int
+    value: Any
+
+    @property
+    def tag(self) -> str:
+        return "ACCEPTED"
+
+
+@dataclasses.dataclass(frozen=True)
+class Nack(Message):
+    """An acceptor refuses a ballot because it promised a higher one."""
+
+    instance: int
+    ballot: int
+    promised: int
+
+    @property
+    def tag(self) -> str:
+        return "NACK"
+
+
+@dataclasses.dataclass(frozen=True)
+class Decide(Message):
+    """Decision announcement for one consensus instance."""
+
+    instance: int
+    value: Any
+
+    @property
+    def tag(self) -> str:
+        return "DECIDE"
+
+
+@dataclasses.dataclass(frozen=True)
+class Forward(Message):
+    """A client command forwarded to the process currently trusted as leader."""
+
+    value: Any
+
+    @property
+    def tag(self) -> str:
+        return "FORWARD"

@@ -1,0 +1,203 @@
+"""Leader-driven replicated log (repeated consensus / atomic broadcast).
+
+This is the application layer the paper motivates Omega with (Section 1.1 and
+Theorem 5): commands submitted at any process are forwarded to the process currently
+trusted by the leader oracle, which proposes them — one consensus instance per log
+position — to the ballot-based protocol of :mod:`repro.consensus.instance`.  Decided
+positions form a totally ordered log delivered identically at every process
+(atomic broadcast by repeated consensus, as in [3, 12]).
+
+Properties exercised by the tests and experiments E7/E8:
+
+* **Safety always** (indulgence): for every log position, no two processes ever
+  learn different values, and every learnt value was submitted by some process (or
+  is the explicit no-op filler) — regardless of the leader oracle's behaviour and of
+  the delay model.
+* **Liveness under the paper's assumption**: with ``t < n/2`` and a scenario
+  satisfying the intermittent rotating t-star, every submitted command is eventually
+  decided and delivered at every correct process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.consensus.instance import ConsensusInstance
+from repro.consensus.messages import Decide, Forward
+from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
+from repro.util.validation import require_positive, validate_process_count
+
+#: Value proposed to fill a hole in the log when a leader has nothing to propose.
+NOOP = "<noop>"
+
+_DRIVE_TIMER = "drive"
+
+
+class ReplicatedLog(Process):
+    """Omega-driven replicated log running at one process.
+
+    Parameters
+    ----------
+    pid, n, t:
+        System parameters; consensus safety requires ``t < n/2`` (Theorem 5).
+    oracle:
+        The local leader oracle instance (typically the Figure 3 algorithm running
+        in the same process, composed via
+        :class:`~repro.consensus.stack.OmegaConsensusStack`).
+    drive_period:
+        How often (virtual time) the process re-evaluates leadership, forwards its
+        pending commands and (if leader) starts proposals.
+    retry_period:
+        Minimum time between two proposal attempts of the same instance by the same
+        leader (prevents ballot storms while a proposal is in flight).
+    """
+
+    variant_name = "replicated-log"
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        oracle: LeaderOracle,
+        drive_period: float = 2.0,
+        retry_period: float = 10.0,
+    ) -> None:
+        validate_process_count(n, t)
+        if t >= n / 2:
+            raise ValueError(
+                f"consensus requires a majority of correct processes (t < n/2); "
+                f"got n={n}, t={t}"
+            )
+        require_positive(drive_period, "drive_period")
+        require_positive(retry_period, "retry_period")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.quorum = n - t
+        self.oracle = oracle
+        self.drive_period = drive_period
+        self.retry_period = retry_period
+
+        self._instances: Dict[int, ConsensusInstance] = {}
+        self._attempts: Dict[int, int] = {}
+        self._last_attempt_time: Dict[int, float] = {}
+        #: Log position -> decided value (learnt locally).
+        self.decisions: Dict[int, Any] = {}
+        #: Commands submitted locally and not yet known decided.
+        self.pending: List[Any] = []
+        #: Commands forwarded by other processes and not yet known decided.
+        self.forwarded: List[Any] = []
+        #: Number of proposal attempts started by this process (reporting).
+        self.proposals_started = 0
+
+    # ------------------------------------------------------------------ client API --
+    def submit(self, value: Any) -> None:
+        """Submit a command for total-order delivery (callable from outside handlers)."""
+        if value == NOOP:
+            raise ValueError("the no-op filler value cannot be submitted")
+        if value not in self.pending and not self._is_decided_value(value):
+            self.pending.append(value)
+
+    def decided_log(self) -> Dict[int, Any]:
+        """Return a copy of the locally learnt decisions (position -> value)."""
+        return dict(self.decisions)
+
+    def delivered(self) -> List[Any]:
+        """Return the delivered prefix: decided values at contiguous positions 0..k,
+        no-op fillers excluded."""
+        values: List[Any] = []
+        position = 0
+        while position in self.decisions:
+            value = self.decisions[position]
+            if value != NOOP:
+                values.append(value)
+            position += 1
+        return values
+
+    # ------------------------------------------------------------------ lifecycle --
+    def on_start(self, env: Environment) -> None:
+        env.set_timer(self.drive_period, _DRIVE_TIMER)
+
+    def on_timer(self, env: Environment, timer: TimerHandle) -> None:
+        if timer.name != _DRIVE_TIMER:
+            raise ValueError(f"unknown timer {timer.name!r}")
+        self._drive(env)
+        env.set_timer(self.drive_period, _DRIVE_TIMER)
+
+    def on_message(self, env: Environment, sender: int, message: Message) -> None:
+        if isinstance(message, Forward):
+            if (
+                not self._is_decided_value(message.value)
+                and message.value not in self.forwarded
+                and message.value not in self.pending
+            ):
+                self.forwarded.append(message.value)
+            return
+        instance_id = getattr(message, "instance", None)
+        if instance_id is None:
+            raise TypeError(f"replicated log received unexpected {message!r}")
+        self._instance(instance_id).on_message(env, sender, message)
+
+    # ------------------------------------------------------------------ internals --
+    def _instance(self, instance_id: int) -> ConsensusInstance:
+        instance = self._instances.get(instance_id)
+        if instance is None:
+            instance = ConsensusInstance(
+                pid=self.pid,
+                n=self.n,
+                quorum=self.quorum,
+                instance=instance_id,
+                on_decide=self._on_decide,
+            )
+            self._instances[instance_id] = instance
+        return instance
+
+    def _is_decided_value(self, value: Any) -> bool:
+        return any(decided == value for decided in self.decisions.values())
+
+    def _on_decide(self, instance_id: int, value: Any) -> None:
+        self.decisions[instance_id] = value
+        self.pending = [v for v in self.pending if v != value]
+        self.forwarded = [v for v in self.forwarded if v != value]
+
+    def _next_position(self) -> int:
+        position = 0
+        while position in self.decisions:
+            position += 1
+        return position
+
+    def _candidate_value(self) -> Optional[Any]:
+        for value in self.pending + self.forwarded:
+            if not self._is_decided_value(value):
+                return value
+        return None
+
+    def _drive(self, env: Environment) -> None:
+        leader = self.oracle.leader()
+        if leader != self.pid:
+            # Not the leader: hand our pending commands to whoever is.
+            for value in self.pending:
+                env.send(leader, Forward(value=value))
+            return
+        position = self._next_position()
+        value = self._candidate_value()
+        if value is None:
+            # Nothing to propose; only fill a hole if positions above it decided.
+            if any(existing > position for existing in self.decisions):
+                value = NOOP
+            else:
+                return
+        instance = self._instance(position)
+        if instance.decided:
+            return
+        state = instance.state
+        last = self._last_attempt_time.get(position)
+        in_flight = state.proposing and state.phase in ("prepare", "accept")
+        if in_flight and last is not None and env.now - last < self.retry_period:
+            return
+        attempt = self._attempts.get(position, 0) + 1
+        self._attempts[position] = attempt
+        self._last_attempt_time[position] = env.now
+        self.proposals_started += 1
+        instance.start_proposal(env, value, attempt)

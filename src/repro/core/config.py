@@ -1,0 +1,113 @@
+"""Configuration of the paper's Omega algorithms.
+
+The paper leaves several quantities abstract (the period ``beta`` between two ALIVE
+broadcasts, the unit in which timers are expressed, the threshold ``n - t`` that
+footnote 5 allows to generalise to any lower bound ``alpha`` on the number of correct
+processes).  :class:`OmegaConfig` gathers them with faithful defaults so an algorithm
+instance is fully described by ``(n, t, config)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.util.validation import require_non_negative, require_positive
+
+#: Type of the ``f`` function of Section 7 (round number -> extra window length).
+WindowFunction = Callable[[int], int]
+
+#: Type of the ``g`` function of Section 7 (round number -> extra timeout duration).
+TimeoutFunction = Callable[[int], float]
+
+
+@dataclasses.dataclass
+class OmegaConfig:
+    """Parameters of the Figure 1/2/3 and ``A_{f,g}`` algorithms.
+
+    Attributes
+    ----------
+    alive_period:
+        The bound ``beta`` between two consecutive ALIVE broadcasts by the same
+        process (task T1 "repeat regularly").  Each process broadcasts exactly every
+        ``alive_period`` local time units (plus optional per-process jitter).
+    alive_jitter:
+        Maximal random extra delay added to each ALIVE period, drawn uniformly from
+        ``[0, alive_jitter]``.  The paper only requires the period to be *bounded*, so
+        jitter is allowed; it defaults to 0 for determinism.
+    timeout_unit:
+        Multiplier converting the (integer) timer value ``max(susp_level)`` prescribed
+        by line 11 into time units.  This is a pure change of time scale.
+    initial_timeout:
+        Value of the very first timer (the paper initialises the timer before any
+        suspicion level is positive).  Defaults to 0, i.e. the first receiving round
+        is gated only by the ``n - t`` reception condition.
+    alpha:
+        Reception/suspicion threshold.  ``None`` (the default) means the paper's
+        ``n - t``.  Footnote 5: any lower bound on the number of correct processes is
+        sound.
+    f:
+        The Section-7 ``f`` function extending the suspicion window; ``None`` for the
+        plain Figure 2/3 algorithms (equivalent to ``f(rn) == 0``).
+    g:
+        The Section-7 ``g`` function extending the timeout; ``None`` for the plain
+        algorithms (equivalent to ``g(rn) == 0``).
+    history_horizon:
+        Number of past receiving rounds for which ``rec_from`` / ``suspicions``
+        entries are retained, *in addition to* the window required by the line-``*``
+        test.  ``None`` disables garbage collection (faithful to the paper's
+        pseudo-code, which keeps every round); the default keeps memory bounded in
+        long benchmark runs without affecting any decision of the algorithm.
+    """
+
+    alive_period: float = 1.0
+    alive_jitter: float = 0.0
+    timeout_unit: float = 1.0
+    initial_timeout: float = 0.0
+    alpha: Optional[int] = None
+    f: Optional[WindowFunction] = None
+    g: Optional[TimeoutFunction] = None
+    history_horizon: Optional[int] = 512
+
+    def __post_init__(self) -> None:
+        require_positive(self.alive_period, "alive_period")
+        require_non_negative(self.alive_jitter, "alive_jitter")
+        require_positive(self.timeout_unit, "timeout_unit")
+        require_non_negative(self.initial_timeout, "initial_timeout")
+        if self.alpha is not None and self.alpha < 1:
+            raise ValueError(f"alpha must be >= 1, got {self.alpha}")
+        if self.history_horizon is not None and self.history_horizon < 1:
+            raise ValueError(
+                f"history_horizon must be >= 1 or None, got {self.history_horizon}"
+            )
+
+    def effective_alpha(self, n: int, t: int) -> int:
+        """Return the reception/suspicion threshold used by the algorithm.
+
+        The paper uses ``n - t``; an explicit :attr:`alpha` overrides it (footnote 5).
+        The threshold can never exceed ``n`` nor drop below 1.
+        """
+        alpha = self.alpha if self.alpha is not None else n - t
+        if alpha < 1 or alpha > n:
+            raise ValueError(
+                f"effective alpha {alpha} outside [1, {n}] for n={n}, t={t}"
+            )
+        return alpha
+
+    def window_extension(self, rn: int) -> int:
+        """Return ``f(rn)`` (0 when no ``f`` was configured)."""
+        if self.f is None:
+            return 0
+        value = int(self.f(rn))
+        if value < 0:
+            raise ValueError(f"f({rn}) returned {value}; f must be non-negative")
+        return value
+
+    def timeout_extension(self, rn: int) -> float:
+        """Return ``g(rn)`` (0.0 when no ``g`` was configured)."""
+        if self.g is None:
+            return 0.0
+        value = float(self.g(rn))
+        if value < 0:
+            raise ValueError(f"g({rn}) returned {value}; g must be non-negative")
+        return value

@@ -1,0 +1,23 @@
+"""Figure 1 — the leader algorithm for ``AS_{n,t}[A0]``.
+
+``A0`` (written ``A'`` in some versions of the paper) is the *eventual rotating
+t-star* assumption: from some round ``RN0`` on, **every** round number has a star
+``{p} ∪ Q(rn)`` whose points receive ``ALIVE(rn)`` from the centre ``p`` timely or
+winning.  Under that assumption the plain increase rule of line 17 suffices
+(Theorem 1): a suspicion level is incremented as soon as ``n - t`` processes suspect
+the same process for the same round.
+"""
+
+from __future__ import annotations
+
+from repro.core.omega_base import RotatingStarOmegaBase
+
+
+class Figure1Omega(RotatingStarOmegaBase):
+    """The Figure 1 algorithm (assumption ``A0``: star present at every round)."""
+
+    variant_name = "figure1"
+
+    def _may_increase_level(self, suspect: int, rn: int) -> bool:
+        """Line 16 only: increase whenever ``suspicions[rn][suspect] >= n - t``."""
+        return True

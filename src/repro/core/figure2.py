@@ -1,0 +1,43 @@
+"""Figure 2 — the leader algorithm for ``AS_{n,t}[A]`` (intermittent star).
+
+Under ``A`` the rotating star is only guaranteed for the round numbers of an infinite
+sequence ``S`` with gaps bounded by ``D``.  Rounds outside ``S`` may therefore produce
+spurious quorums of suspicions against the centre; incrementing its suspicion level
+on every such round (as Figure 1 does) would prevent stabilisation.
+
+The fix is the line-``*`` test: the suspicion level of ``k`` may be incremented for
+round ``rn`` only if ``k`` has been suspected by ``n - t`` processes in **every**
+round of the window ``[rn - susp_level[k], rn]``.  The window grows with the
+suspicion level itself, so once ``susp_level[k] >= D - 1`` the window necessarily
+covers a round of ``S`` — in which the centre is never suspected by ``n - t``
+processes — and the level of the centre stops increasing (Lemma 4), while the level
+of a crashed process keeps increasing forever (Lemma 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.figure1 import Figure1Omega
+
+
+class Figure2Omega(Figure1Omega):
+    """The Figure 2 algorithm (assumption ``A``: intermittent rotating t-star)."""
+
+    variant_name = "figure2"
+
+    def _window_start(self, suspect: int, rn: int) -> int:
+        """First round of the line-``*`` window for (*suspect*, *rn*).
+
+        The plain Figure 2 window is ``rn - susp_level[suspect]``; the ``A_{f,g}``
+        variant widens it by ``f(rn)`` (see :class:`repro.core.figure_fg.FgOmega`).
+        """
+        return rn - self.susp_level[suspect] - self.config.window_extension(rn)
+
+    def _may_increase_level(self, suspect: int, rn: int) -> bool:
+        """Line ``*``: require a full window of sustained suspicion."""
+        window_start = self._window_start(suspect, rn)
+        return self.records.window_satisfied(
+            rn=rn,
+            suspect=suspect,
+            window_start=window_start,
+            threshold=self.alpha,
+        )

@@ -1,0 +1,32 @@
+"""Figure 3 — the bounded-variable leader algorithm for ``AS_{n,t}[A]``.
+
+Figure 3 adds the line-``**`` test to Figure 2: the suspicion level of ``k`` may only
+be incremented when it is (one of) the smallest entries of the local array.  The
+intuition (Section 6.1) is that a process whose entry is not minimal is not the
+current local leader, so there is no need to push its entry further up.
+
+Consequences proved in the paper and auditable with :mod:`repro.analysis.bounds`:
+
+* Theorem 3 — the algorithm still implements Omega under ``A``;
+* Lemma 8 — ``max(susp_level) - min(susp_level) <= 1`` is an invariant;
+* Theorem 4 — no entry ever exceeds ``B + 1`` where ``B`` is the (finite) largest
+  value reached by the eventual leader's entry; hence **every** variable except the
+  round numbers is bounded, and so are all timeout values (line 11 uses
+  ``max(susp_level)``).
+"""
+
+from __future__ import annotations
+
+from repro.core.figure2 import Figure2Omega
+
+
+class Figure3Omega(Figure2Omega):
+    """The Figure 3 algorithm (bounded variables, assumption ``A``)."""
+
+    variant_name = "figure3"
+
+    def _may_increase_level(self, suspect: int, rn: int) -> bool:
+        """Lines ``*`` and ``**``: sustained-window test plus minimality test."""
+        if self.susp_level[suspect] > self.susp_level.minimum():
+            return False
+        return super()._may_increase_level(suspect, rn)

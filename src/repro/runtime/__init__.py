@@ -1,0 +1,5 @@
+"""Real-time asyncio runtime adapter for the algorithm classes."""
+
+from repro.runtime.asyncio_runtime import AsyncioCluster, AsyncioEnvironment, AsyncioNode
+
+__all__ = ["AsyncioCluster", "AsyncioEnvironment", "AsyncioNode"]

@@ -1,0 +1,48 @@
+"""Deterministic discrete-event simulation of the asynchronous system ``AS_{n,t}``.
+
+The substrate the paper's algorithms run on in this reproduction: a virtual-time
+event scheduler, a reliable non-FIFO network with pluggable per-message delay models,
+process shells enforcing crash-stop semantics, and a system builder tying them
+together.
+"""
+
+from repro.simulation.crash import CrashSchedule
+from repro.simulation.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    HeavyTailDelay,
+    MessageContext,
+    PartiallySynchronousDelay,
+    PerLinkDelay,
+    TagFilteredDelay,
+    UniformDelay,
+)
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.network import Envelope, Network, NetworkStats
+from repro.simulation.process import SimProcessShell
+from repro.simulation.scheduler import EventScheduler
+from repro.simulation.system import ProcessFactory, System, SystemConfig
+
+__all__ = [
+    "ConstantDelay",
+    "CrashSchedule",
+    "DelayModel",
+    "Envelope",
+    "Event",
+    "EventQueue",
+    "EventScheduler",
+    "ExponentialDelay",
+    "HeavyTailDelay",
+    "MessageContext",
+    "Network",
+    "NetworkStats",
+    "PartiallySynchronousDelay",
+    "PerLinkDelay",
+    "ProcessFactory",
+    "SimProcessShell",
+    "System",
+    "SystemConfig",
+    "TagFilteredDelay",
+    "UniformDelay",
+]

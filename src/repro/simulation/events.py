@@ -1,0 +1,94 @@
+"""Event queue of the discrete-event simulator.
+
+The queue is a binary heap ordered by ``(time, sequence_number)``: events scheduled
+for the same instant fire in the order they were scheduled, which keeps executions
+fully deterministic for a given seed.  Cancelled events stay in the heap and are
+skipped lazily when popped (cheaper than heap surgery and irrelevant for memory at
+the scales of this library).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+#: Signature of an event callback (called with no arguments).
+EventCallback = Callable[[], None]
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute virtual time at which the event fires.
+    seq:
+        Monotonically increasing sequence number used as a tie-breaker.
+    cancelled:
+        True when the event has been cancelled; cancelled events never run.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: EventCallback) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(time={self.time}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: float, callback: EventCallback) -> Event:
+        """Schedule *callback* at absolute *time* and return its :class:`Event`."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event* (no-op if it already ran or was already cancelled)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live = max(0, self._live - 1)
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or ``None`` if empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if the queue is empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        _, _, event = heapq.heappop(self._heap)
+        self._live = max(0, self._live - 1)
+        return event
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)

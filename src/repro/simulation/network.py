@@ -1,0 +1,209 @@
+"""Reliable, non-FIFO message-passing network.
+
+The network implements the paper's communication model: every ordered pair of
+processes is connected by a directed link that neither creates, alters nor loses
+messages, imposes no bound on transfer delays and is not required to be FIFO.  Delays
+are decided per message by a :class:`~repro.simulation.delays.DelayModel`; since two
+messages on the same link may receive different delays, deliveries naturally reorder,
+which exercises the non-FIFO part of the model.
+
+Messages addressed to a crashed process are discarded at delivery time (receiving is
+a local step the crashed process no longer executes); messages *from* a process that
+crashed after sending are still delivered, matching the model in which a send that
+completed before the crash is effective.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import Counter
+from typing import Callable, Dict, Optional
+
+from repro.core.composition import unwrap_round_number, unwrap_tag
+from repro.core.interfaces import Message
+from repro.simulation.delays import DelayModel, MessageContext
+from repro.simulation.scheduler import EventScheduler
+
+
+@dataclasses.dataclass
+class Envelope:
+    """A message in flight."""
+
+    msg_id: int
+    sender: int
+    dest: int
+    message: Message
+    send_time: float
+    deliver_time: float
+
+
+class NetworkStats:
+    """Message accounting used by the cost experiments (E6, E9)."""
+
+    def __init__(self) -> None:
+        self.sent_by_tag: Counter = Counter()
+        self.delivered_by_tag: Counter = Counter()
+        self.dropped_by_tag: Counter = Counter()
+        self.sent_by_process: Counter = Counter()
+        self.delivered_to_process: Counter = Counter()
+        self.total_delay = 0.0
+        self.max_delay = 0.0
+
+    @property
+    def total_sent(self) -> int:
+        """Total number of messages handed to the network."""
+        return sum(self.sent_by_tag.values())
+
+    @property
+    def total_delivered(self) -> int:
+        """Total number of messages delivered to a live process."""
+        return sum(self.delivered_by_tag.values())
+
+    @property
+    def total_dropped(self) -> int:
+        """Messages dropped (lossy links or destination crashed)."""
+        return sum(self.dropped_by_tag.values())
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean transfer delay over delivered messages."""
+        delivered = self.total_delivered
+        return self.total_delay / delivered if delivered else 0.0
+
+    def record_sent(self, tag: str, sender: int) -> None:
+        self.sent_by_tag[tag] += 1
+        self.sent_by_process[sender] += 1
+
+    def record_delivered(self, tag: str, dest: int, delay: float) -> None:
+        self.delivered_by_tag[tag] += 1
+        self.delivered_to_process[dest] += 1
+        self.total_delay += delay
+        self.max_delay = max(self.max_delay, delay)
+
+    def record_dropped(self, tag: str) -> None:
+        self.dropped_by_tag[tag] += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly summary."""
+        return {
+            "sent": dict(self.sent_by_tag),
+            "delivered": dict(self.delivered_by_tag),
+            "dropped": dict(self.dropped_by_tag),
+            "total_sent": self.total_sent,
+            "total_delivered": self.total_delivered,
+            "total_dropped": self.total_dropped,
+            "mean_delay": self.mean_delay,
+            "max_delay": self.max_delay,
+        }
+
+
+#: Callback invoked at delivery time: (sender, message) -> None.
+DeliveryCallback = Callable[[int, Message], None]
+#: Callback telling the network whether a destination is still alive.
+LivenessCallback = Callable[[], bool]
+
+
+class Network:
+    """Message transport between the simulated processes."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        delay_model: DelayModel,
+        tracer: Optional[object] = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self.delay_model = delay_model
+        self._tracer = tracer
+        self._deliver: Dict[int, DeliveryCallback] = {}
+        self._is_alive: Dict[int, LivenessCallback] = {}
+        self._msg_ids = itertools.count(1)
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------ wiring --
+    def register(
+        self, pid: int, deliver: DeliveryCallback, is_alive: LivenessCallback
+    ) -> None:
+        """Register the delivery endpoint of process *pid*."""
+        if pid in self._deliver:
+            raise ValueError(f"process {pid} already registered with the network")
+        self._deliver[pid] = deliver
+        self._is_alive[pid] = is_alive
+
+    @property
+    def registered_ids(self) -> list:
+        """Return the registered process ids (sorted)."""
+        return sorted(self._deliver)
+
+    # ------------------------------------------------------------------ transport --
+    def send(self, sender: int, dest: int, message: Message) -> Optional[Envelope]:
+        """Send *message* from *sender* to *dest*.
+
+        Returns the in-flight :class:`Envelope`, or ``None`` when the delay model
+        dropped the message (lossy links only).
+        """
+        if dest not in self._deliver:
+            raise KeyError(f"destination process {dest} is not registered")
+        tag = unwrap_tag(message)
+        ctx = MessageContext(
+            sender=sender,
+            dest=dest,
+            tag=tag,
+            round_number=unwrap_round_number(message),
+            send_time=self._scheduler.now,
+        )
+        self.stats.record_sent(tag, sender)
+        delay = self.delay_model.delay(ctx)
+        if delay is None:
+            self.stats.record_dropped(tag)
+            self._trace(ctx.send_time, sender, "message_dropped", tag=tag, dest=dest)
+            return None
+        if delay < 0:
+            raise ValueError(
+                f"delay model {self.delay_model.describe()} returned negative delay "
+                f"{delay} for {ctx}"
+            )
+        envelope = Envelope(
+            msg_id=next(self._msg_ids),
+            sender=sender,
+            dest=dest,
+            message=message,
+            send_time=ctx.send_time,
+            deliver_time=ctx.send_time + delay,
+        )
+        self._scheduler.schedule_at(
+            envelope.deliver_time, lambda env=envelope: self._deliver_envelope(env)
+        )
+        self._trace(
+            ctx.send_time,
+            sender,
+            "message_sent",
+            tag=tag,
+            dest=dest,
+            deliver_time=envelope.deliver_time,
+        )
+        return envelope
+
+    def _deliver_envelope(self, envelope: Envelope) -> None:
+        tag = unwrap_tag(envelope.message)
+        if not self._is_alive[envelope.dest]():
+            # Reception is a local step; a crashed process takes no steps.
+            self.stats.record_dropped(tag)
+            return
+        delay = envelope.deliver_time - envelope.send_time
+        self.stats.record_delivered(tag, envelope.dest, delay)
+        self._trace(
+            envelope.deliver_time,
+            envelope.dest,
+            "message_delivered",
+            tag=tag,
+            sender=envelope.sender,
+            delay=delay,
+        )
+        self._deliver[envelope.dest](envelope.sender, envelope.message)
+
+    # ------------------------------------------------------------------ tracing --
+    def _trace(self, time: float, pid: int, kind: str, **details: object) -> None:
+        if self._tracer is not None:
+            self._tracer.record(time, pid, kind, **details)

@@ -1,0 +1,150 @@
+"""Binding between an algorithm object and the simulator.
+
+:class:`SimProcessShell` is the simulator-side implementation of
+:class:`~repro.core.interfaces.Environment`.  One shell wraps one
+:class:`~repro.core.interfaces.Process` (the algorithm), gives it its identity, its
+timers, its links and its local randomness, and enforces the crash-stop failure
+model: once :meth:`crash` has been called the process takes no further steps — no
+timer fires, no message is delivered, nothing is sent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core.interfaces import Environment, Message, Process, TimerHandle
+from repro.simulation.events import Event
+from repro.simulation.network import Network
+from repro.simulation.scheduler import EventScheduler
+from repro.util.rng import RandomSource
+from repro.util.validation import require_non_negative
+
+
+class SimProcessShell(Environment):
+    """Simulator-side home of a single process."""
+
+    def __init__(
+        self,
+        pid: int,
+        algorithm: Process,
+        scheduler: EventScheduler,
+        network: Network,
+        process_ids: Sequence[int],
+        rng: RandomSource,
+        tracer: Optional[object] = None,
+    ) -> None:
+        self._pid = pid
+        self.algorithm = algorithm
+        self._scheduler = scheduler
+        self._network = network
+        self._process_ids = tuple(process_ids)
+        self._rng = rng
+        self._tracer = tracer
+
+        self.crashed = False
+        self.crash_time: Optional[float] = None
+        self.started = False
+        #: Number of messages this process has sent / received (handler deliveries).
+        self.messages_sent = 0
+        self.messages_received = 0
+        self._timer_events: Dict[int, Event] = {}
+
+        network.register(pid, self._deliver, self.is_alive)
+
+    # ------------------------------------------------------------------ identity --
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def process_ids(self) -> Sequence[int]:
+        return self._process_ids
+
+    @property
+    def now(self) -> float:
+        return self._scheduler.now
+
+    @property
+    def random(self) -> RandomSource:
+        return self._rng
+
+    def is_alive(self) -> bool:
+        """Return True while the process has not crashed."""
+        return not self.crashed
+
+    # ------------------------------------------------------------------ lifecycle --
+    def start(self) -> None:
+        """Run the algorithm's ``on_start`` handler (called once by the system)."""
+        if self.started:
+            raise RuntimeError(f"process {self._pid} already started")
+        self.started = True
+        if self.crashed:
+            return
+        self.log("process_started")
+        self.algorithm.on_start(self)
+
+    def crash(self) -> None:
+        """Crash the process: cancel its timers and silence it forever."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_time = self.now
+        for event in self._timer_events.values():
+            self._scheduler.cancel(event)
+        self._timer_events.clear()
+        self.log("process_crashed")
+        self.algorithm.on_crash(self)
+
+    def stop(self) -> None:
+        """Notify the algorithm that the run is over (correct processes only)."""
+        if not self.crashed:
+            self.algorithm.on_stop(self)
+
+    # ------------------------------------------------------------------ messaging --
+    def send(self, dest: int, message: Message) -> None:
+        if self.crashed:
+            return
+        self.messages_sent += 1
+        self._network.send(self._pid, dest, message)
+
+    def _deliver(self, sender: int, message: Message) -> None:
+        if self.crashed:
+            return
+        self.messages_received += 1
+        self.algorithm.on_message(self, sender, message)
+
+    # ------------------------------------------------------------------ timers --
+    def set_timer(self, delay: float, name: str, payload: Any = None) -> TimerHandle:
+        require_non_negative(delay, "delay")
+        handle = TimerHandle(name=name, fires_at=self.now + delay, payload=payload)
+        if self.crashed:
+            # A crashed process cannot arm timers; return an already-cancelled handle
+            # so defensive callers do not blow up.
+            handle.cancel()
+            return handle
+        event = self._scheduler.schedule_after(
+            delay, lambda h=handle: self._fire_timer(h)
+        )
+        self._timer_events[handle.timer_id] = event
+        return handle
+
+    def cancel_timer(self, handle: TimerHandle) -> None:
+        handle.cancel()
+        event = self._timer_events.pop(handle.timer_id, None)
+        if event is not None:
+            self._scheduler.cancel(event)
+
+    def _fire_timer(self, handle: TimerHandle) -> None:
+        self._timer_events.pop(handle.timer_id, None)
+        if self.crashed or handle.cancelled:
+            return
+        self.algorithm.on_timer(self, handle)
+
+    # ------------------------------------------------------------------ tracing --
+    def log(self, kind: str, **details: Any) -> None:
+        if self._tracer is not None:
+            self._tracer.record(self.now, self._pid, kind, **details)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "alive"
+        return f"SimProcessShell(pid={self._pid}, {state}, {self.algorithm!r})"

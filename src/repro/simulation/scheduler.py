@@ -1,0 +1,122 @@
+"""Virtual clock and event scheduler.
+
+:class:`EventScheduler` is the heart of the simulation substrate: it owns the global
+virtual clock (the "fictional global discrete clock" of the paper's model, visible to
+the analysis layer but never to the algorithms) and executes scheduled events in
+timestamp order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simulation.events import Event, EventCallback, EventQueue
+from repro.util.validation import require_non_negative
+
+
+class EventScheduler:
+    """Discrete-event scheduler with a monotonically advancing virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._executed = 0
+
+    # ------------------------------------------------------------------ clock --
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    @property
+    def executed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._executed
+
+    # ------------------------------------------------------------------ scheduling --
+    def schedule_at(self, time: float, callback: EventCallback) -> Event:
+        """Schedule *callback* at absolute virtual time *time*.
+
+        Scheduling strictly in the past is an error; scheduling exactly at the
+        current time is allowed (the event runs after all previously scheduled
+        events with the same timestamp).
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event in the past: {time} < now {self._now}"
+            )
+        return self._queue.push(time, callback)
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> Event:
+        """Schedule *callback* after *delay* virtual time units."""
+        require_non_negative(delay, "delay")
+        return self._queue.push(self._now + delay, callback)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (safe to call twice)."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------ execution --
+    def step(self) -> bool:
+        """Execute the next event; return False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = max(self._now, event.time)
+        self._executed += 1
+        event.callback()
+        return True
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Run every event scheduled up to and including *time*.
+
+        The clock is left at exactly *time* (even if the last event fired earlier),
+        so back-to-back calls compose: ``run_until(10); run_until(20)`` is equivalent
+        to ``run_until(20)``.
+
+        Parameters
+        ----------
+        time:
+            Horizon (absolute virtual time).
+        max_events:
+            Optional safety valve; raises ``RuntimeError`` when more events than this
+            fire before the horizon (catches accidental infinite event loops, e.g. a
+            zero-period timer).
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot run until {time}, clock already at {self._now}")
+        executed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise RuntimeError(
+                    f"run_until({time}) exceeded max_events={max_events}; "
+                    "suspected event loop"
+                )
+        self._now = time
+        return executed
+
+    def run_to_quiescence(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (bounded by *max_events*)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(
+                    f"run_to_quiescence exceeded max_events={max_events}"
+                )
+        return executed

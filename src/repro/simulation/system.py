@@ -1,0 +1,181 @@
+"""Assembly of a complete simulated system ``AS_{n,t}``.
+
+A :class:`System` wires together the scheduler, the network (with a delay model that
+typically comes from a :class:`~repro.assumptions.base.Scenario`), one
+:class:`~repro.simulation.process.SimProcessShell` per process, and a crash schedule.
+It is the object every test, example and benchmark drives:
+
+>>> system = System(SystemConfig(n=5, t=2, seed=7), factory, delay_model)
+>>> system.run_until(500.0)
+>>> system.leaders()
+{0: 0, 1: 0, 2: 0, 3: 0, 4: 0}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.interfaces import LeaderOracle, Process
+from repro.simulation.crash import CrashSchedule
+from repro.simulation.delays import DelayModel
+from repro.simulation.network import Network, NetworkStats
+from repro.simulation.process import SimProcessShell
+from repro.simulation.scheduler import EventScheduler
+from repro.util.rng import RandomSource
+from repro.util.validation import require_non_negative, validate_process_count
+
+#: Factory building the algorithm object of process ``pid``.
+ProcessFactory = Callable[[int], Process]
+
+
+@dataclasses.dataclass
+class SystemConfig:
+    """Static parameters of a simulated system.
+
+    Attributes
+    ----------
+    n:
+        Number of processes (ids ``0 .. n-1``).
+    t:
+        Maximum number of crashes tolerated (used for validation and by factories).
+    seed:
+        Master seed; every random choice of the run derives from it.
+    start_jitter:
+        Processes start at independent uniformly random times in
+        ``[0, start_jitter]``, modelling unsynchronised boots.  0 starts everyone at
+        time 0 (still deterministic).
+    """
+
+    n: int
+    t: int
+    seed: int = 0
+    start_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        validate_process_count(self.n, self.t)
+        require_non_negative(self.start_jitter, "start_jitter")
+
+
+class System:
+    """A fully wired simulated distributed system."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        process_factory: ProcessFactory,
+        delay_model: DelayModel,
+        crash_schedule: Optional[CrashSchedule] = None,
+        tracer: Optional[object] = None,
+    ) -> None:
+        self.config = config
+        self.crash_schedule = crash_schedule or CrashSchedule.none()
+        self.crash_schedule.validate(config.n, config.t)
+        self.tracer = tracer
+
+        self.scheduler = EventScheduler()
+        self.network = Network(self.scheduler, delay_model, tracer=tracer)
+        self._master_rng = RandomSource(config.seed, label="system")
+
+        process_ids = list(range(config.n))
+        self.shells: List[SimProcessShell] = []
+        for pid in process_ids:
+            algorithm = process_factory(pid)
+            shell = SimProcessShell(
+                pid=pid,
+                algorithm=algorithm,
+                scheduler=self.scheduler,
+                network=self.network,
+                process_ids=process_ids,
+                rng=self._master_rng.child("process", pid),
+                tracer=tracer,
+            )
+            self.shells.append(shell)
+
+        start_rng = self._master_rng.child("start-jitter")
+        for shell in self.shells:
+            offset = (
+                start_rng.uniform(0.0, config.start_jitter)
+                if config.start_jitter
+                else 0.0
+            )
+            self.scheduler.schedule_at(offset, shell.start)
+
+        for pid, crash_time in self.crash_schedule.items():
+            shell = self.shells[pid]
+            self.scheduler.schedule_at(crash_time, shell.crash)
+
+    # ------------------------------------------------------------------ execution --
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.scheduler.now
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Advance the simulation to absolute virtual *time*."""
+        return self.scheduler.run_until(time, max_events=max_events)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Advance the simulation by *duration* time units."""
+        require_non_negative(duration, "duration")
+        return self.scheduler.run_until(self.now + duration, max_events=max_events)
+
+    def finish(self) -> None:
+        """Notify every still-alive process that the run is over."""
+        for shell in self.shells:
+            shell.stop()
+
+    # ------------------------------------------------------------------ accessors --
+    def shell(self, pid: int) -> SimProcessShell:
+        """Return the shell of process *pid*."""
+        return self.shells[pid]
+
+    def alive_shells(self) -> List[SimProcessShell]:
+        """Return the shells of the processes that have not crashed yet."""
+        return [shell for shell in self.shells if not shell.crashed]
+
+    def correct_shells(self) -> List[SimProcessShell]:
+        """Return the shells of processes that never crash under the schedule."""
+        return [
+            shell
+            for shell in self.shells
+            if self.crash_schedule.is_correct(shell.pid)
+        ]
+
+    def correct_ids(self) -> List[int]:
+        """Return the ids of the processes that never crash under the schedule."""
+        return self.crash_schedule.correct_ids(self.config.n)
+
+    def algorithms(self) -> Dict[int, Process]:
+        """Return a mapping pid -> algorithm object."""
+        return {shell.pid: shell.algorithm for shell in self.shells}
+
+    def leaders(self, only_alive: bool = True) -> Dict[int, int]:
+        """Return the current ``leader()`` output of each (alive) oracle process.
+
+        Processes whose algorithm does not implement
+        :class:`~repro.core.interfaces.LeaderOracle` are skipped.
+        """
+        shells: Sequence[SimProcessShell] = (
+            self.alive_shells() if only_alive else self.shells
+        )
+        return {
+            shell.pid: shell.algorithm.leader()
+            for shell in shells
+            if isinstance(shell.algorithm, LeaderOracle)
+        }
+
+    def agreed_leader(self) -> Optional[int]:
+        """Return the leader every alive oracle process currently agrees on.
+
+        ``None`` when the alive processes disagree (or there is no oracle process).
+        """
+        outputs = set(self.leaders().values())
+        if len(outputs) == 1:
+            return outputs.pop()
+        return None
+
+    @property
+    def stats(self) -> NetworkStats:
+        """Network-level message accounting."""
+        return self.network.stats

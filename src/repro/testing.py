@@ -1,0 +1,165 @@
+"""Test doubles for exercising protocol handlers without a full simulation.
+
+:class:`FakeEnvironment` implements :class:`~repro.core.interfaces.Environment`
+against in-memory lists: sent messages are recorded, timers are stored and fired
+manually, and the clock is advanced explicitly.  It is used extensively by the unit
+tests of the algorithm classes and is exported as part of the public API because it
+is equally useful to downstream users writing their own protocols on top of
+:mod:`repro.core`.
+
+Typical usage::
+
+    env = FakeEnvironment(pid=0, n=3)
+    algorithm = Figure3Omega(pid=0, n=3, t=1)
+    algorithm.on_start(env)
+    env.advance(1.0)
+    env.fire_due_timers(algorithm)
+    assert env.sent  # ALIVE broadcasts were recorded
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import Environment, Message, Process, TimerHandle
+from repro.util.rng import RandomSource
+
+
+@dataclasses.dataclass
+class SentMessage:
+    """A message recorded by :class:`FakeEnvironment`."""
+
+    time: float
+    dest: int
+    message: Message
+
+
+class FakeEnvironment(Environment):
+    """In-memory :class:`~repro.core.interfaces.Environment` for unit tests."""
+
+    def __init__(self, pid: int, n: int, seed: int = 0) -> None:
+        self._pid = pid
+        self._process_ids = tuple(range(n))
+        self._now = 0.0
+        self._rng = RandomSource(seed, label=f"fake-{pid}")
+        #: Every message sent through the environment, in order.
+        self.sent: List[SentMessage] = []
+        #: Every timer ever set (fired or not), in order.
+        self.timers: List[TimerHandle] = []
+        #: Trace events recorded through ``log``.
+        self.logged: List[Tuple[float, str, Dict[str, Any]]] = []
+
+    # ------------------------------------------------------------------ identity --
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def process_ids(self) -> Sequence[int]:
+        return self._process_ids
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def random(self) -> RandomSource:
+        return self._rng
+
+    # ------------------------------------------------------------------ actions --
+    def send(self, dest: int, message: Message) -> None:
+        self.sent.append(SentMessage(time=self._now, dest=dest, message=message))
+
+    def set_timer(self, delay: float, name: str, payload: Any = None) -> TimerHandle:
+        handle = TimerHandle(name=name, fires_at=self._now + delay, payload=payload)
+        self.timers.append(handle)
+        return handle
+
+    def cancel_timer(self, handle: TimerHandle) -> None:
+        handle.cancel()
+
+    def log(self, kind: str, **details: Any) -> None:
+        self.logged.append((self._now, kind, details))
+
+    # ------------------------------------------------------------------ test hooks --
+    def advance(self, duration: float) -> None:
+        """Advance the fake clock by *duration*."""
+        if duration < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += duration
+
+    def set_time(self, time: float) -> None:
+        """Jump the fake clock to an absolute time (must not go backwards)."""
+        if time < self._now:
+            raise ValueError("cannot move the clock backwards")
+        self._now = time
+
+    def due_timers(self) -> List[TimerHandle]:
+        """Return the timers that are due (not cancelled, fires_at <= now)."""
+        return [
+            timer
+            for timer in self.timers
+            if not timer.cancelled and timer.fires_at <= self._now
+        ]
+
+    def fire_due_timers(self, process: Process) -> int:
+        """Fire every due timer on *process*; return how many fired.
+
+        Fired timers are marked cancelled so they only fire once.  Timers armed
+        while firing (e.g. the periodic ALIVE timer re-arming itself) are not fired
+        in the same call unless they are themselves already due.
+        """
+        fired = 0
+        while True:
+            due = self.due_timers()
+            if not due:
+                return fired
+            for timer in due:
+                timer.cancel()
+                process.on_timer(self, timer)
+                fired += 1
+
+    def messages_to(self, dest: int) -> List[Message]:
+        """Return the messages sent to *dest*, in order."""
+        return [sent.message for sent in self.sent if sent.dest == dest]
+
+    def messages_of_type(self, message_type: type) -> List[Message]:
+        """Return the sent messages of the given type, in order."""
+        return [sent.message for sent in self.sent if isinstance(sent.message, message_type)]
+
+    def clear_sent(self) -> None:
+        """Forget previously recorded messages (keeps timers and the clock)."""
+        self.sent.clear()
+
+
+def deliver_round_alive(
+    algorithm: Process,
+    env: FakeEnvironment,
+    rn: int,
+    senders: Sequence[int],
+    susp_level: Optional[Dict[int, int]] = None,
+) -> None:
+    """Deliver ``ALIVE(rn)`` messages from every process in *senders*.
+
+    Convenience helper for unit tests of the Figure 1/2/3 algorithms.
+    """
+    from repro.core.messages import Alive
+
+    levels = susp_level or {pid: 0 for pid in env.process_ids}
+    for sender in senders:
+        algorithm.on_message(env, sender, Alive.make(rn, levels))
+
+
+def deliver_suspicions(
+    algorithm: Process,
+    env: FakeEnvironment,
+    rn: int,
+    suspect: int,
+    senders: Sequence[int],
+) -> None:
+    """Deliver ``SUSPICION(rn, {suspect})`` messages from every process in *senders*."""
+    from repro.core.messages import Suspicion
+
+    for sender in senders:
+        algorithm.on_message(env, sender, Suspicion.make(rn, [suspect]))

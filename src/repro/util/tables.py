@@ -1,0 +1,65 @@
+"""Plain-text table formatting for examples and benchmark reports.
+
+The benchmark harness prints the rows it regenerates (stabilisation times, message
+counts, variable bounds) as aligned ASCII tables so that ``pytest benchmarks/``
+output can be compared side-by-side with the paper's claims.  No third-party
+dependency is used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Format *rows* under *headers* as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have the same length as *headers*.
+    title:
+        Optional title printed above the table.
+
+    Returns
+    -------
+    str
+        The formatted table, ready to be printed.
+    """
+    string_rows = []
+    for row in rows:
+        cells = [_stringify(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row {cells!r} has {len(cells)} cells, expected {len(headers)}"
+            )
+        string_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in string_rows:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(list(headers)))
+    lines.append(separator)
+    lines.extend(render(cells) for cells in string_rows)
+    return "\n".join(lines)

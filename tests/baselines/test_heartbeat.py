@@ -1,0 +1,90 @@
+"""Unit tests for the heartbeat (eventually-timely-links) baseline."""
+
+import pytest
+
+from repro.baselines.heartbeat import StableLeaderOmega
+from repro.baselines.messages import Heartbeat
+from repro.testing import FakeEnvironment
+
+
+def make(pid=0, n=4, **kwargs):
+    algorithm = StableLeaderOmega(pid=pid, n=n, t=1, **kwargs)
+    env = FakeEnvironment(pid=pid, n=n)
+    algorithm.on_start(env)
+    return algorithm, env
+
+
+class TestHeartbeats:
+    def test_start_broadcasts_heartbeat(self):
+        algorithm, env = make()
+        beats = env.messages_of_type(Heartbeat)
+        assert len(beats) == 3
+        assert all(message.rn == 1 for message in beats)
+
+    def test_periodic_rebroadcast_increments_sequence(self):
+        algorithm, env = make()
+        env.clear_sent()
+        env.advance(1.0)
+        env.fire_due_timers(algorithm)
+        beats = env.messages_of_type(Heartbeat)
+        assert {message.rn for message in beats} == {2}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StableLeaderOmega(pid=0, n=4, t=1, heartbeat_period=0.0)
+        with pytest.raises(ValueError):
+            StableLeaderOmega(pid=0, n=4, t=1, initial_timeout=0.0)
+
+
+class TestSuspicion:
+    def test_initial_leader_is_process_zero(self):
+        algorithm, _ = make(pid=2)
+        assert algorithm.leader() == 0
+
+    def test_silent_process_suspected_after_timeout(self):
+        algorithm, env = make(pid=3, initial_timeout=2.0, check_period=0.5)
+        # No heartbeat from anyone: after the timeout every other process is
+        # suspected and the leader falls back to the smallest non-suspected, which
+        # is the process itself.
+        env.advance(3.0)
+        env.fire_due_timers(algorithm)
+        assert algorithm.suspected == {0, 1, 2}
+        assert algorithm.leader() == 3
+
+    def test_heartbeat_refreshes_deadline(self):
+        algorithm, env = make(pid=3, initial_timeout=2.0, check_period=0.5)
+        env.advance(1.5)
+        algorithm.on_message(env, 0, Heartbeat(rn=1))
+        env.advance(1.0)  # now 2.5: process 0 refreshed at 1.5, deadline 3.5
+        env.fire_due_timers(algorithm)
+        assert 0 not in algorithm.suspected
+        assert 1 in algorithm.suspected
+
+    def test_false_suspicion_increases_timeout(self):
+        algorithm, env = make(pid=3, initial_timeout=2.0, check_period=0.5)
+        env.advance(3.0)
+        env.fire_due_timers(algorithm)
+        assert 0 in algorithm.suspected
+        before = algorithm.timeouts[0]
+        algorithm.on_message(env, 0, Heartbeat(rn=2))
+        assert 0 not in algorithm.suspected
+        assert algorithm.timeouts[0] == before + algorithm.timeout_increment
+        assert algorithm.false_suspicions == 1
+
+    def test_leader_history_tracks_changes(self):
+        algorithm, env = make(pid=3, initial_timeout=2.0, check_period=0.5)
+        env.advance(3.0)
+        env.fire_due_timers(algorithm)
+        leaders = [leader for _, leader in algorithm.leader_history]
+        assert leaders[0] == 0
+        assert leaders[-1] == 3
+
+    def test_unexpected_message_rejected(self):
+        algorithm, env = make()
+        with pytest.raises(TypeError):
+            algorithm.on_message(env, 1, object())
+
+    def test_unknown_timer_rejected(self):
+        algorithm, env = make()
+        with pytest.raises(ValueError):
+            algorithm.on_timer(env, env.set_timer(0.0, "bogus"))

@@ -1,0 +1,102 @@
+"""Unit tests for the query/response (message-pattern) baseline."""
+
+import pytest
+
+from repro.baselines.message_pattern import QueryResponseOmega
+from repro.baselines.messages import LoserReport, Query, Response
+from repro.testing import FakeEnvironment
+
+
+def make(pid=0, n=5, t=2, **kwargs):
+    algorithm = QueryResponseOmega(pid=pid, n=n, t=t, **kwargs)
+    env = FakeEnvironment(pid=pid, n=n)
+    algorithm.on_start(env)
+    return algorithm, env
+
+
+class TestQueries:
+    def test_start_broadcasts_first_query(self):
+        algorithm, env = make()
+        queries = env.messages_of_type(Query)
+        assert len(queries) == 4
+        assert all(message.rn == 1 for message in queries)
+
+    def test_periodic_queries_increment_number(self):
+        algorithm, env = make()
+        env.clear_sent()
+        env.advance(1.0)
+        env.fire_due_timers(algorithm)
+        queries = env.messages_of_type(Query)
+        assert {message.rn for message in queries} == {2}
+
+    def test_query_answered_with_response_carrying_counters(self):
+        algorithm, env = make()
+        algorithm.counters[3] = 5
+        algorithm.on_message(env, 2, Query(rn=7))
+        responses = [m for m in env.messages_to(2) if isinstance(m, Response)]
+        assert len(responses) == 1
+        assert responses[0].rn == 7
+        assert dict(responses[0].counters)[3] == 5
+
+
+class TestQueryTermination:
+    def test_losers_reported_after_n_minus_t_responses(self):
+        algorithm, env = make()
+        env.clear_sent()
+        # alpha = 3, the querier counts itself: two responses terminate query 1.
+        algorithm.on_message(env, 1, Response(rn=1))
+        algorithm.on_message(env, 2, Response(rn=1))
+        reports = env.messages_of_type(LoserReport)
+        assert len(reports) == 5  # broadcast including self
+        assert reports[0].losers == frozenset({3, 4})
+
+    def test_late_responses_do_not_retrigger(self):
+        algorithm, env = make()
+        algorithm.on_message(env, 1, Response(rn=1))
+        algorithm.on_message(env, 2, Response(rn=1))
+        env.clear_sent()
+        algorithm.on_message(env, 3, Response(rn=1))
+        assert env.messages_of_type(LoserReport) == []
+
+    def test_response_counters_merged(self):
+        algorithm, env = make()
+        algorithm.on_message(env, 1, Response(rn=1, counters=((0, 0), (1, 0), (2, 9), (3, 0), (4, 0))))
+        assert algorithm.counters[2] == 9
+
+
+class TestLoserCounting:
+    def test_quorum_of_reports_increments_counter(self):
+        algorithm, env = make()
+        for sender in (0, 1, 2):
+            algorithm.on_message(env, sender, LoserReport(rn=4, losers=frozenset({3})))
+        assert algorithm.counters[3] == 1
+
+    def test_below_quorum_no_increment(self):
+        algorithm, env = make()
+        for sender in (0, 1):
+            algorithm.on_message(env, sender, LoserReport(rn=4, losers=frozenset({3})))
+        assert algorithm.counters[3] == 0
+
+    def test_leader_is_lexicographic_min(self):
+        algorithm, env = make()
+        algorithm.counters[0] = 2
+        assert algorithm.leader() == 1
+
+    def test_unexpected_message_rejected(self):
+        algorithm, env = make()
+        with pytest.raises(TypeError):
+            algorithm.on_message(env, 1, object())
+
+    def test_unknown_timer_rejected(self):
+        algorithm, env = make()
+        with pytest.raises(ValueError):
+            algorithm.on_timer(env, env.set_timer(0.0, "bogus"))
+
+    def test_no_timer_dependence_for_counting(self):
+        # The construction is time-free: advancing the clock without any message
+        # never changes any counter.
+        algorithm, env = make()
+        before = dict(algorithm.counters)
+        env.advance(100.0)
+        env.fire_due_timers(algorithm)
+        assert algorithm.counters == before

@@ -1,0 +1,89 @@
+"""Unit tests for the timer-driven accusation baseline (eventual t-source style)."""
+
+import pytest
+
+from repro.baselines.messages import Accusation, Heartbeat
+from repro.baselines.t_source import TimerQuorumOmega
+from repro.testing import FakeEnvironment
+
+
+def make(pid=0, n=5, t=2, **kwargs):
+    algorithm = TimerQuorumOmega(pid=pid, n=n, t=t, **kwargs)
+    env = FakeEnvironment(pid=pid, n=n)
+    algorithm.on_start(env)
+    return algorithm, env
+
+
+class TestRounds:
+    def test_start_broadcasts_heartbeat_round_one(self):
+        algorithm, env = make()
+        beats = env.messages_of_type(Heartbeat)
+        assert len(beats) == 4
+        assert all(message.rn == 1 for message in beats)
+
+    def test_round_closes_on_timer_regardless_of_receptions(self):
+        algorithm, env = make(initial_timeout=3.0)
+        env.advance(3.0)
+        env.fire_due_timers(algorithm)
+        accusations = env.messages_of_type(Accusation)
+        # Broadcast to everyone, accusing every other process (nothing received).
+        assert len(accusations) == 5
+        assert accusations[0].suspects == frozenset({1, 2, 3, 4})
+        assert algorithm.recv_round == 2
+
+    def test_received_heartbeats_not_accused(self):
+        algorithm, env = make(initial_timeout=3.0)
+        algorithm.on_message(env, 2, Heartbeat(rn=1))
+        env.advance(3.0)
+        env.fire_due_timers(algorithm)
+        accusation = env.messages_of_type(Accusation)[0]
+        assert 2 not in accusation.suspects
+
+    def test_stale_heartbeat_ignored(self):
+        algorithm, env = make(initial_timeout=1.0)
+        env.advance(1.0)
+        env.fire_due_timers(algorithm)  # round 1 closed
+        algorithm.on_message(env, 2, Heartbeat(rn=1))
+        assert 2 not in algorithm.received.get(1, set())
+
+    def test_timeout_grows_with_counters(self):
+        algorithm, env = make(initial_timeout=1.0, timeout_unit=2.0)
+        algorithm.counters[3] = 4
+        env.advance(1.0)
+        env.fire_due_timers(algorithm)
+        round_timers = [timer for timer in env.timers if timer.name == "round"]
+        assert round_timers[-1].fires_at - env.now == pytest.approx(1.0 + 2.0 * 4)
+
+
+class TestAccusations:
+    def test_quorum_increments_counter(self):
+        algorithm, env = make()
+        for sender in (0, 1, 2):
+            algorithm.on_message(env, sender, Accusation(rn=1, suspects=frozenset({4})))
+        assert algorithm.counters[4] == 1
+
+    def test_below_quorum_no_increment(self):
+        algorithm, env = make()
+        for sender in (0, 1):
+            algorithm.on_message(env, sender, Accusation(rn=1, suspects=frozenset({4})))
+        assert algorithm.counters[4] == 0
+
+    def test_counter_gossip_via_heartbeats(self):
+        algorithm, env = make()
+        algorithm.on_message(env, 1, Heartbeat(rn=1, counters=((0, 0), (1, 0), (2, 7), (3, 0), (4, 0))))
+        assert algorithm.counters[2] == 7
+
+    def test_leader_is_lexicographic_min(self):
+        algorithm, env = make()
+        algorithm.counters[0] = 3
+        algorithm.counters[1] = 1
+        assert algorithm.leader() == 2
+
+    def test_unexpected_message_rejected(self):
+        algorithm, env = make()
+        with pytest.raises(TypeError):
+            algorithm.on_message(env, 1, object())
+
+    def test_consensus_requirement_validation(self):
+        with pytest.raises(ValueError):
+            TimerQuorumOmega(pid=0, n=3, t=3)

@@ -1,0 +1,127 @@
+"""Unit tests for the acknowledge-and-retransmit reliable channel."""
+
+import pytest
+
+from repro.channels.messages import Ack, Data
+from repro.channels.reliable import ReliableChannel
+from repro.core.interfaces import Message, Process
+from repro.core.messages import Alive
+from repro.testing import FakeEnvironment
+
+
+class _Inner(Process):
+    def __init__(self):
+        self.received = []
+        self.started = False
+        self.timers = []
+
+    def on_start(self, env):
+        self.started = True
+        env.send(1, Alive.make(1, {0: 0, 1: 0}))
+        env.set_timer(2.0, "inner-tick")
+
+    def on_message(self, env, sender, message):
+        self.received.append((sender, message))
+
+    def on_timer(self, env, timer):
+        self.timers.append(timer.name)
+
+
+def make():
+    inner = _Inner()
+    channel = ReliableChannel(inner, retransmit_period=5.0)
+    env = FakeEnvironment(pid=0, n=2)
+    channel.on_start(env)
+    return inner, channel, env
+
+
+class TestSending:
+    def test_outgoing_messages_wrapped_with_sequence_numbers(self):
+        inner, channel, env = make()
+        sent = env.messages_to(1)
+        assert len(sent) == 1
+        assert isinstance(sent[0], Data)
+        assert sent[0].seq == 1
+        assert channel.unacknowledged == 1
+
+    def test_sequence_numbers_increase_per_destination(self):
+        inner, channel, env = make()
+        channel.reliable_send(env, 1, Alive.make(2, {0: 0, 1: 0}))
+        seqs = [m.seq for m in env.messages_to(1)]
+        assert seqs == [1, 2]
+
+    def test_ack_clears_outbox(self):
+        inner, channel, env = make()
+        channel.on_message(env, 1, Ack(seq=1))
+        assert channel.unacknowledged == 0
+
+    def test_retransmission_until_acked(self):
+        inner, channel, env = make()
+        env.advance(5.0)
+        env.fire_due_timers(channel)
+        data_messages = [m for m in env.messages_to(1) if isinstance(m, Data)]
+        assert len(data_messages) == 2  # original + one retransmission
+        assert channel.retransmissions == 1
+        channel.on_message(env, 1, Ack(seq=1))
+        env.advance(5.0)
+        env.fire_due_timers(channel)
+        data_messages = [m for m in env.messages_to(1) if isinstance(m, Data)]
+        assert len(data_messages) == 2  # no further retransmission
+
+
+class TestReceiving:
+    def test_data_delivered_to_inner_and_acked(self):
+        inner, channel, env = make()
+        payload = Alive.make(7, {0: 0, 1: 0})
+        channel.on_message(env, 1, Data(seq=4, inner=payload))
+        assert inner.received == [(1, payload)]
+        acks = [m for m in env.messages_to(1) if isinstance(m, Ack)]
+        assert acks and acks[0].seq == 4
+
+    def test_duplicates_suppressed_but_reacked(self):
+        inner, channel, env = make()
+        payload = Alive.make(7, {0: 0, 1: 0})
+        channel.on_message(env, 1, Data(seq=4, inner=payload))
+        channel.on_message(env, 1, Data(seq=4, inner=payload))
+        assert len(inner.received) == 1
+        assert channel.duplicates_dropped == 1
+        acks = [m for m in env.messages_to(1) if isinstance(m, Ack)]
+        assert len(acks) == 2
+
+    def test_sequence_numbers_tracked_per_sender(self):
+        # Same seq from two different senders must both be delivered.
+        inner = _Inner()
+        channel = ReliableChannel(inner)
+        env = FakeEnvironment(pid=0, n=3)
+        channel.on_start(env)
+        channel.on_message(env, 1, Data(seq=1, inner=Alive.make(1, {0: 0, 1: 0, 2: 0})))
+        channel.on_message(env, 2, Data(seq=1, inner=Alive.make(2, {0: 0, 1: 0, 2: 0})))
+        assert len(inner.received) == 2
+
+    def test_unexpected_message_rejected(self):
+        inner, channel, env = make()
+        with pytest.raises(TypeError):
+            channel.on_message(env, 1, Alive.make(1, {0: 0, 1: 0}))
+
+
+class TestTimersAndLifecycle:
+    def test_inner_timers_prefixed_and_routed(self):
+        inner, channel, env = make()
+        names = [timer.name for timer in env.timers]
+        assert "inner:inner-tick" in names
+        env.advance(2.0)
+        env.fire_due_timers(channel)
+        assert inner.timers == ["inner-tick"]
+
+    def test_unknown_timer_rejected(self):
+        inner, channel, env = make()
+        with pytest.raises(ValueError):
+            channel.on_timer(env, env.set_timer(0.0, "bogus"))
+
+    def test_retransmit_period_validated(self):
+        with pytest.raises(ValueError):
+            ReliableChannel(_Inner(), retransmit_period=0.0)
+
+    def test_inner_started(self):
+        inner, channel, env = make()
+        assert inner.started

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite.
+
+The integration tests run full simulations; to keep the suite fast they use small
+systems (n in 4..7) and horizons of a few hundred virtual time units, which the
+smoke experiments in DESIGN.md showed to be comfortably beyond the stabilisation
+times of the paper's algorithms under every scenario exercised here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OmegaConfig
+
+
+@pytest.fixture
+def quick_config() -> OmegaConfig:
+    """A configuration with the default (paper-faithful) time constants."""
+    return OmegaConfig(alive_period=1.0, timeout_unit=1.0)
+
+
+@pytest.fixture
+def small_system_params():
+    """(n, t) used by most integration tests: 5 processes, 2 may crash."""
+    return 5, 2
+
+
+@pytest.fixture
+def medium_system_params():
+    """(n, t) used by the scenarios that need winning-message blockers."""
+    return 7, 3

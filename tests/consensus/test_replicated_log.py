@@ -1,0 +1,146 @@
+"""Unit tests for the leader-driven replicated log."""
+
+import pytest
+
+from repro.consensus.messages import Decide, Forward, Prepare
+from repro.consensus.replicated_log import NOOP, ReplicatedLog
+from repro.testing import FakeEnvironment
+
+
+class _FixedOracle:
+    """A leader oracle test double with a settable output."""
+
+    def __init__(self, leader):
+        self._leader = leader
+
+    def leader(self):
+        return self._leader
+
+    def set(self, leader):
+        self._leader = leader
+
+
+def make(pid=0, n=5, t=2, leader=0, **kwargs):
+    oracle = _FixedOracle(leader)
+    log = ReplicatedLog(pid=pid, n=n, t=t, oracle=oracle, **kwargs)
+    env = FakeEnvironment(pid=pid, n=n)
+    log.on_start(env)
+    return log, oracle, env
+
+
+class TestValidation:
+    def test_requires_majority_of_correct_processes(self):
+        with pytest.raises(ValueError, match="majority"):
+            ReplicatedLog(pid=0, n=4, t=2, oracle=_FixedOracle(0))
+
+    def test_noop_cannot_be_submitted(self):
+        log, _, _ = make()
+        with pytest.raises(ValueError):
+            log.submit(NOOP)
+
+
+class TestSubmissionAndForwarding:
+    def test_submit_is_idempotent(self):
+        log, _, _ = make()
+        log.submit("a")
+        log.submit("a")
+        assert log.pending == ["a"]
+
+    def test_non_leader_forwards_pending_to_leader(self):
+        log, oracle, env = make(pid=2, leader=4)
+        log.submit("cmd")
+        env.advance(2.0)
+        env.fire_due_timers(log)
+        forwards = [m for m in env.messages_to(4) if isinstance(m, Forward)]
+        assert forwards and forwards[0].value == "cmd"
+
+    def test_forwarded_command_stored_once(self):
+        log, _, env = make(pid=0, leader=1)
+        log.on_message(env, 3, Forward(value="x"))
+        log.on_message(env, 4, Forward(value="x"))
+        assert log.forwarded == ["x"]
+
+    def test_leader_proposes_pending_command(self):
+        log, _, env = make(pid=0, leader=0)
+        log.submit("cmd")
+        env.advance(2.0)
+        env.fire_due_timers(log)
+        prepares = env.messages_of_type(Prepare)
+        assert prepares, "the leader must start a proposal"
+        assert log.proposals_started == 1
+
+    def test_non_leader_does_not_propose(self):
+        log, _, env = make(pid=0, leader=3)
+        log.submit("cmd")
+        env.advance(2.0)
+        env.fire_due_timers(log)
+        assert env.messages_of_type(Prepare) == []
+
+    def test_idle_leader_with_nothing_pending_stays_silent(self):
+        log, _, env = make(pid=0, leader=0)
+        env.advance(2.0)
+        env.fire_due_timers(log)
+        assert env.messages_of_type(Prepare) == []
+
+
+class TestDecisionsAndDelivery:
+    def test_decide_message_updates_log(self):
+        log, _, env = make(pid=1, leader=0)
+        log.on_message(env, 0, Decide(instance=0, value="a"))
+        assert log.decided_log() == {0: "a"}
+        assert log.delivered() == ["a"]
+
+    def test_delivery_stops_at_first_hole(self):
+        log, _, env = make(pid=1)
+        log.on_message(env, 0, Decide(instance=0, value="a"))
+        log.on_message(env, 0, Decide(instance=2, value="c"))
+        assert log.delivered() == ["a"]
+
+    def test_noop_excluded_from_delivery(self):
+        log, _, env = make(pid=1)
+        log.on_message(env, 0, Decide(instance=0, value=NOOP))
+        log.on_message(env, 0, Decide(instance=1, value="b"))
+        assert log.delivered() == ["b"]
+
+    def test_decided_value_removed_from_queues(self):
+        log, _, env = make(pid=1, leader=1)
+        log.submit("a")
+        log.on_message(env, 2, Forward(value="b"))
+        log.on_message(env, 0, Decide(instance=0, value="a"))
+        log.on_message(env, 0, Decide(instance=1, value="b"))
+        assert log.pending == []
+        assert log.forwarded == []
+
+    def test_leader_fills_holes_with_noop(self):
+        log, _, env = make(pid=0, leader=0)
+        # Position 1 decided, position 0 is a hole; the leader has nothing pending.
+        log.on_message(env, 2, Decide(instance=1, value="x"))
+        env.advance(2.0)
+        env.fire_due_timers(log)
+        prepares = env.messages_of_type(Prepare)
+        assert prepares and prepares[0].instance == 0
+
+    def test_retry_waits_for_retry_period(self):
+        log, _, env = make(pid=0, leader=0, drive_period=2.0, retry_period=10.0)
+        log.submit("cmd")
+        env.advance(2.0)
+        env.fire_due_timers(log)
+        first_count = len(env.messages_of_type(Prepare))
+        env.advance(2.0)
+        env.fire_due_timers(log)
+        # The proposal is still in flight and the retry period has not elapsed:
+        # no second Prepare burst yet.
+        assert len(env.messages_of_type(Prepare)) == first_count
+        env.advance(10.0)
+        env.fire_due_timers(log)
+        assert len(env.messages_of_type(Prepare)) > first_count
+
+    def test_unexpected_message_rejected(self):
+        log, _, env = make()
+        with pytest.raises(TypeError):
+            log.on_message(env, 0, object())
+
+    def test_unknown_timer_rejected(self):
+        log, _, env = make()
+        with pytest.raises(ValueError):
+            log.on_timer(env, env.set_timer(0.0, "bogus"))

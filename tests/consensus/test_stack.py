@@ -1,0 +1,44 @@
+"""Unit tests for the Omega + replicated log composite stack."""
+
+import pytest
+
+from repro.consensus.stack import LOG_CHANNEL, OMEGA_CHANNEL, OmegaConsensusStack
+from repro.core.figure2 import Figure2Omega
+from repro.core.figure3 import Figure3Omega
+from repro.core.messages import Wrapped
+from repro.testing import FakeEnvironment
+
+
+class TestStack:
+    def test_children_wired(self):
+        stack = OmegaConsensusStack(pid=1, n=5, t=2)
+        assert isinstance(stack.omega, Figure3Omega)
+        assert stack.log.oracle is stack.omega
+        assert sorted(stack.channels()) == sorted([OMEGA_CHANNEL, LOG_CHANNEL])
+
+    def test_custom_omega_class(self):
+        stack = OmegaConsensusStack(pid=1, n=5, t=2, omega_cls=Figure2Omega)
+        assert isinstance(stack.omega, Figure2Omega)
+
+    def test_leader_delegates_to_omega(self):
+        stack = OmegaConsensusStack(pid=1, n=5, t=2)
+        assert stack.leader() == stack.omega.leader()
+
+    def test_submit_and_delivered_delegate_to_log(self):
+        stack = OmegaConsensusStack(pid=1, n=5, t=2)
+        stack.submit("cmd")
+        assert stack.log.pending == ["cmd"]
+        assert stack.delivered() == []
+        assert stack.decided_log() == {}
+
+    def test_on_start_wraps_outgoing_messages(self):
+        stack = OmegaConsensusStack(pid=0, n=5, t=2)
+        env = FakeEnvironment(pid=0, n=5)
+        stack.on_start(env)
+        assert env.sent, "the omega child must broadcast ALIVE messages"
+        assert all(isinstance(sent.message, Wrapped) for sent in env.sent)
+        assert {sent.message.channel for sent in env.sent} == {OMEGA_CHANNEL}
+
+    def test_consensus_requires_majority(self):
+        with pytest.raises(ValueError):
+            OmegaConsensusStack(pid=0, n=4, t=2)

@@ -1,0 +1,265 @@
+"""Unit tests of the shared algorithm machinery (Figure 1/2/3 common part).
+
+The tests drive a single algorithm instance through a
+:class:`repro.testing.FakeEnvironment`, checking each numbered line of the paper's
+pseudo-code in isolation: the ALIVE broadcast task, the reception bookkeeping, the
+round-closure predicate of line 8, the SUSPICION handling of lines 13-18 and the
+election rule of lines 19-21.
+"""
+
+import pytest
+
+from repro.core.config import OmegaConfig
+from repro.core.figure1 import Figure1Omega
+from repro.core.messages import Alive, Suspicion
+from repro.core.omega_base import ALIVE_TIMER, ROUND_TIMER
+from repro.testing import FakeEnvironment, deliver_round_alive, deliver_suspicions
+
+
+def make(pid=0, n=5, t=2, **config_kwargs):
+    config = OmegaConfig(**config_kwargs)
+    algorithm = Figure1Omega(pid=pid, n=n, t=t, config=config)
+    env = FakeEnvironment(pid=pid, n=n)
+    return algorithm, env
+
+
+class TestConstruction:
+    def test_rejects_pid_out_of_range(self):
+        with pytest.raises(ValueError):
+            Figure1Omega(pid=5, n=5, t=2)
+
+    def test_rejects_bad_n_t(self):
+        with pytest.raises(ValueError):
+            Figure1Omega(pid=0, n=3, t=3)
+
+    def test_initial_state(self):
+        algorithm, _ = make()
+        assert algorithm.sending_round == 0
+        assert algorithm.receiving_round == 1
+        assert algorithm.leader() == 0
+        assert algorithm.alpha == 3
+
+    def test_alpha_override(self):
+        algorithm = Figure1Omega(pid=0, n=5, t=2, config=OmegaConfig(alpha=4))
+        assert algorithm.alpha == 4
+
+
+class TestTaskT1:
+    def test_on_start_broadcasts_first_alive(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        alives = env.messages_of_type(Alive)
+        assert len(alives) == 4  # to every other process, not to itself
+        assert all(message.rn == 1 for message in alives)
+        assert algorithm.sending_round == 1
+
+    def test_alive_timer_rebroadcasts_with_next_round(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        env.clear_sent()
+        env.advance(1.0)
+        env.fire_due_timers(algorithm)
+        alives = env.messages_of_type(Alive)
+        assert {message.rn for message in alives} == {2}
+
+    def test_alive_carries_current_susp_level(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        algorithm.susp_level.increase(3)
+        env.clear_sent()
+        env.advance(1.0)
+        env.fire_due_timers(algorithm)
+        alive = env.messages_of_type(Alive)[0]
+        assert alive.susp_level_dict()[3] == 1
+
+    def test_alive_timer_rearmed(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        names = [timer.name for timer in env.timers]
+        assert names.count(ALIVE_TIMER) == 1
+        env.advance(1.0)
+        env.fire_due_timers(algorithm)
+        names = [timer.name for timer in env.timers]
+        assert names.count(ALIVE_TIMER) == 2
+
+
+class TestAliveReception:
+    def test_gossip_merges_levels(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        algorithm.on_message(env, 1, Alive.make(1, {0: 0, 1: 0, 2: 4, 3: 0, 4: 1}))
+        assert algorithm.susp_level[2] == 4
+        assert algorithm.susp_level[4] == 1
+
+    def test_current_round_message_counted(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        algorithm.on_message(env, 2, Alive.make(1, {pid: 0 for pid in range(5)}))
+        assert 2 in algorithm.records.rec_from(1)
+
+    def test_future_round_message_buffered(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        algorithm.on_message(env, 2, Alive.make(9, {pid: 0 for pid in range(5)}))
+        assert 2 in algorithm.records.rec_from(9)
+
+    def test_stale_round_message_discarded(self):
+        algorithm, env = make(initial_timeout=0.0)
+        algorithm.on_start(env)
+        # Close round 1: timer expired (initial timeout 0) + alpha=3 receptions.
+        env.fire_due_timers(algorithm)
+        deliver_round_alive(algorithm, env, 1, senders=[1, 2])
+        assert algorithm.receiving_round == 2
+        algorithm.on_message(env, 3, Alive.make(1, {pid: 0 for pid in range(5)}))
+        assert 3 not in algorithm.records.rec_from(1)
+
+
+class TestRoundClosure:
+    def test_round_not_closed_before_timer_expiry(self):
+        algorithm, env = make(initial_timeout=5.0)
+        algorithm.on_start(env)
+        deliver_round_alive(algorithm, env, 1, senders=[1, 2, 3, 4])
+        assert algorithm.receiving_round == 1
+        assert env.messages_of_type(Suspicion) == []
+
+    def test_round_not_closed_before_alpha_receptions(self):
+        algorithm, env = make(initial_timeout=0.0)
+        algorithm.on_start(env)
+        env.fire_due_timers(algorithm)  # timer expired, but only self in rec_from
+        deliver_round_alive(algorithm, env, 1, senders=[1])
+        assert algorithm.receiving_round == 1
+
+    def test_round_closes_when_both_conditions_hold(self):
+        algorithm, env = make(initial_timeout=0.0)
+        algorithm.on_start(env)
+        env.fire_due_timers(algorithm)
+        deliver_round_alive(algorithm, env, 1, senders=[1, 2])
+        assert algorithm.receiving_round == 2
+
+    def test_suspicion_broadcast_names_missing_processes(self):
+        algorithm, env = make(initial_timeout=0.0)
+        algorithm.on_start(env)
+        env.fire_due_timers(algorithm)
+        env.clear_sent()
+        deliver_round_alive(algorithm, env, 1, senders=[1, 2])
+        suspicions = env.messages_of_type(Suspicion)
+        # Broadcast to every process including itself (line 10).
+        assert len(suspicions) == 5
+        assert all(message.suspects == frozenset({3, 4}) for message in suspicions)
+        assert all(message.rn == 1 for message in suspicions)
+
+    def test_timer_reset_to_max_susp_level(self):
+        algorithm, env = make(initial_timeout=0.0, timeout_unit=2.0)
+        algorithm.on_start(env)
+        algorithm.susp_level.merge({0: 0, 1: 0, 2: 3, 3: 0, 4: 0})
+        env.fire_due_timers(algorithm)
+        deliver_round_alive(algorithm, env, 1, senders=[1, 2])
+        # Last timeout recorded must be 2.0 * max(susp_level) = 6.0.
+        assert algorithm.current_timeout == 6.0
+
+    def test_several_rounds_close_in_cascade_when_buffered(self):
+        algorithm, env = make(initial_timeout=0.0)
+        algorithm.on_start(env)
+        # Buffer enough ALIVE messages for rounds 1 and 2 before the timer fires.
+        deliver_round_alive(algorithm, env, 1, senders=[1, 2, 3])
+        deliver_round_alive(algorithm, env, 2, senders=[1, 2, 3])
+        # Every suspicion level is still 0, so each successive round timer has a zero
+        # timeout and is immediately due: both buffered rounds close in one sweep and
+        # the algorithm ends up waiting for round 3.
+        env.fire_due_timers(algorithm)
+        assert algorithm.receiving_round == 3
+        suspicion_rounds = {m.rn for m in env.messages_of_type(Suspicion)}
+        assert suspicion_rounds == {1, 2}
+
+
+class TestSuspicionHandling:
+    def test_quorum_increments_level(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        deliver_suspicions(algorithm, env, rn=1, suspect=4, senders=[0, 1, 2])
+        assert algorithm.susp_level[4] == 1
+
+    def test_below_quorum_does_not_increment(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        deliver_suspicions(algorithm, env, rn=1, suspect=4, senders=[0, 1])
+        assert algorithm.susp_level[4] == 0
+
+    def test_every_message_beyond_quorum_increments_again(self):
+        # Line 16 is re-evaluated at each reception; the paper increments at every
+        # reception that reaches/exceeds the threshold.
+        algorithm, env = make()
+        algorithm.on_start(env)
+        deliver_suspicions(algorithm, env, rn=1, suspect=4, senders=[0, 1, 2, 3])
+        assert algorithm.susp_level[4] == 2
+
+    def test_unknown_suspect_rejected(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        with pytest.raises(KeyError):
+            algorithm.on_message(env, 1, Suspicion.make(1, [9]))
+
+    def test_level_increment_counter(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        deliver_suspicions(algorithm, env, rn=1, suspect=2, senders=[0, 1, 3])
+        assert algorithm.level_increments[2] == 1
+
+
+class TestLeaderElection:
+    def test_initial_leader_is_lowest_id(self):
+        algorithm, _ = make(pid=3)
+        assert algorithm.leader() == 0
+
+    def test_leader_moves_away_from_suspected_process(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        deliver_suspicions(algorithm, env, rn=1, suspect=0, senders=[1, 2, 3])
+        assert algorithm.leader() == 1
+
+    def test_leader_history_records_changes(self):
+        algorithm, env = make()
+        algorithm.on_start(env)
+        deliver_suspicions(algorithm, env, rn=1, suspect=0, senders=[1, 2, 3])
+        leaders = [leader for _, leader in algorithm.leader_history]
+        assert leaders == [0, 1]
+
+
+class TestErrorsAndHousekeeping:
+    def test_unknown_message_type_rejected(self):
+        algorithm, env = make()
+
+        class Bogus:
+            pass
+
+        with pytest.raises(TypeError):
+            algorithm.on_message(env, 1, Bogus())
+
+    def test_unknown_timer_rejected(self):
+        algorithm, env = make()
+        timer = env.set_timer(1.0, "bogus")
+        with pytest.raises(ValueError):
+            algorithm.on_timer(env, timer)
+
+    def test_garbage_collection_bounds_tracked_rounds(self):
+        algorithm, env = make(initial_timeout=0.0, history_horizon=4)
+        algorithm.on_start(env)
+        for rn in range(1, 40):
+            env.fire_due_timers(algorithm)
+            deliver_round_alive(algorithm, env, rn, senders=[1, 2, 3, 4])
+        assert algorithm.records.purged_below > 0
+        assert algorithm.records.tracked_rounds() < 40
+
+    def test_gc_disabled_when_horizon_none(self):
+        algorithm, env = make(initial_timeout=0.0, history_horizon=None)
+        algorithm.on_start(env)
+        for rn in range(1, 20):
+            env.fire_due_timers(algorithm)
+            deliver_round_alive(algorithm, env, rn, senders=[1, 2, 3, 4])
+        assert algorithm.records.purged_below == 0
+
+    def test_susp_level_snapshot_is_copy(self):
+        algorithm, env = make()
+        snapshot = algorithm.susp_level_snapshot()
+        snapshot[0] = 99
+        assert algorithm.susp_level[0] == 0

@@ -1,0 +1,202 @@
+"""Integration tests for the eventual-leadership claims (experiments E1-E5).
+
+Each test runs a full simulated system under a scenario that satisfies one of the
+paper's assumptions and checks the operational reading of the Omega specification:
+from some point on, every correct process trusts the same correct process, and it
+keeps doing so until the end of the run.
+"""
+
+import pytest
+
+from repro.analysis import run_omega_experiment
+from repro.assumptions import (
+    CombinedMrtScenario,
+    EventualRotatingStarScenario,
+    EventualTMovingSourceScenario,
+    EventualTSourceScenario,
+    GrowingStarScenario,
+    IntermittentRotatingStarScenario,
+    MessagePatternScenario,
+    StrictTSourceScenario,
+    special_case_scenarios,
+)
+from repro.core import Figure1Omega, Figure2Omega, Figure3Omega, FgOmega
+from repro.simulation import CrashSchedule
+
+DURATION = 300.0
+
+
+def assert_eventual_leadership(result, duration=DURATION):
+    """The three observable consequences of the Eventual Leadership property."""
+    assert result.stabilized, f"no stable leader: {result}"
+    assert result.leader_is_correct, f"stable leader is faulty: {result}"
+    assert result.late_leader_changes == 0, f"leader still churning late: {result}"
+    assert result.stabilization_time < duration
+
+
+class TestE1Figure1UnderA0:
+    """E1 — Figure 1 implements Omega under the eventual rotating t-star (A0)."""
+
+    def test_failure_free_run(self):
+        scenario = EventualRotatingStarScenario(n=5, t=2, center=1, seed=101)
+        result = run_omega_experiment(scenario, Figure1Omega, duration=DURATION, seed=101)
+        assert_eventual_leadership(result)
+
+    def test_with_crashes_of_lowest_ids(self):
+        # Crash the processes the lexicographic tie-break would otherwise prefer:
+        # the elected leader must move to a correct process (Lemma 1).
+        scenario = EventualRotatingStarScenario(n=5, t=2, center=3, seed=102)
+        crashes = CrashSchedule({0: 30.0, 1: 60.0})
+        result = run_omega_experiment(
+            scenario, Figure1Omega, duration=DURATION, seed=102, crash_schedule=crashes
+        )
+        assert_eventual_leadership(result)
+        assert result.final_leader in {2, 3, 4}
+
+    def test_crashed_process_levels_grow(self):
+        scenario = EventualRotatingStarScenario(n=5, t=2, center=3, seed=103)
+        crashes = CrashSchedule({0: 20.0})
+        result = run_omega_experiment(
+            scenario, Figure1Omega, duration=DURATION, seed=103, crash_schedule=crashes
+        )
+        # Lemma 1: the suspicion level of a crashed process increases forever, so by
+        # the end of the run it dominates every live level.
+        assert result.bounds.max_level_ever > 5
+
+
+class TestE2Figure2UnderIntermittentStar:
+    """E2 — Figure 2 implements Omega under the intermittent star (A)."""
+
+    @pytest.mark.parametrize("max_gap", [1, 2, 4, 8])
+    def test_various_gap_bounds(self, max_gap):
+        scenario = IntermittentRotatingStarScenario(
+            n=5, t=2, center=2, seed=110 + max_gap, max_gap=max_gap
+        )
+        result = run_omega_experiment(
+            scenario, Figure2Omega, duration=DURATION, seed=110 + max_gap
+        )
+        assert_eventual_leadership(result)
+
+    def test_with_crashes(self):
+        # The crashes happen early: under Figure 2 the suspicion level of a crashed
+        # process only starts to grow once the receiving rounds pass the last round
+        # it managed to send, and the growing timeouts of Figure 2 make receiving
+        # rounds slow down considerably (this sluggishness is precisely what the
+        # bounded-variable Figure 3 removes, see test_ablation.py).
+        scenario = IntermittentRotatingStarScenario(n=7, t=3, center=5, seed=115, max_gap=4)
+        crashes = CrashSchedule.staggered([0, 1, 2], start=10.0, spacing=5.0)
+        result = run_omega_experiment(
+            scenario, Figure2Omega, duration=500.0, seed=115, crash_schedule=crashes
+        )
+        assert_eventual_leadership(result, duration=500.0)
+        assert result.final_leader in {3, 4, 5, 6}
+
+
+class TestE3Figure3Bounded:
+    """E3 — Figure 3: Omega + bounded variables (Theorems 3-4, Lemma 8)."""
+
+    def test_leadership_and_bounds_failure_free(self):
+        scenario = IntermittentRotatingStarScenario(n=7, t=3, center=0, seed=120, max_gap=4)
+        result = run_omega_experiment(scenario, Figure3Omega, duration=400.0, seed=120)
+        assert_eventual_leadership(result, duration=400.0)
+        assert result.bounds.theorem4_holds
+        assert result.bounds.lemma8_violations == 0
+
+    def test_bounds_hold_despite_crashes(self):
+        # Even with crashed processes (whose level grows for ever under Figure 2),
+        # Figure 3 keeps every entry within B + 1.
+        scenario = IntermittentRotatingStarScenario(n=7, t=3, center=6, seed=121, max_gap=4)
+        crashes = CrashSchedule({0: 30.0, 1: 60.0, 2: 90.0})
+        result = run_omega_experiment(
+            scenario, Figure3Omega, duration=400.0, seed=121, crash_schedule=crashes
+        )
+        assert_eventual_leadership(result, duration=400.0)
+        assert result.bounds.theorem4_holds
+        assert result.bounds.lemma8_violations == 0
+        assert result.bounds.max_level_ever <= result.bounds.bound_b + 1
+
+    def test_timeouts_stabilize(self):
+        scenario = IntermittentRotatingStarScenario(n=5, t=2, center=1, seed=122, max_gap=4)
+        crashes = CrashSchedule({4: 50.0})
+        result = run_omega_experiment(
+            scenario, Figure3Omega, duration=400.0, seed=122, crash_schedule=crashes
+        )
+        assert result.bounds.timeouts_stabilized
+        # All timeouts derive from bounded suspicion levels.
+        assert all(
+            timeout <= (result.bounds.bound_b + 1) * 1.0
+            for timeout in result.bounds.final_timeouts.values()
+        )
+
+
+class TestE4SpecialCases:
+    """E4 — the same Figure 3 algorithm works under every special-case assumption."""
+
+    @pytest.mark.parametrize("index", range(6))
+    def test_each_special_case(self, index):
+        scenario = special_case_scenarios(7, 3, center=2, seed=130)[index]
+        result = run_omega_experiment(scenario, Figure3Omega, duration=DURATION, seed=130)
+        assert_eventual_leadership(result)
+
+    def test_strict_t_source(self):
+        scenario = StrictTSourceScenario(n=7, t=3, center=2, seed=131)
+        result = run_omega_experiment(scenario, Figure3Omega, duration=DURATION, seed=131)
+        assert_eventual_leadership(result)
+
+    def test_harsh_message_pattern(self):
+        scenario = MessagePatternScenario(n=7, t=3, center=0, seed=132, harsh=True)
+        result = run_omega_experiment(scenario, Figure3Omega, duration=DURATION, seed=132)
+        assert_eventual_leadership(result)
+        # Only the winning property protects the centre here; its level stays bounded.
+        assert result.bounds.theorem4_holds
+
+    def test_moving_source_with_crashes(self):
+        scenario = EventualTMovingSourceScenario(n=7, t=3, center=1, seed=133)
+        crashes = CrashSchedule({0: 30.0, 6: 90.0})
+        result = run_omega_experiment(
+            scenario, Figure3Omega, duration=DURATION, seed=133, crash_schedule=crashes
+        )
+        assert_eventual_leadership(result)
+        assert result.final_leader not in {0, 6}
+
+    def test_combined_mrt_with_figure2(self):
+        scenario = CombinedMrtScenario(n=7, t=3, center=4, seed=134)
+        result = run_omega_experiment(scenario, Figure2Omega, duration=DURATION, seed=134)
+        assert_eventual_leadership(result)
+
+
+class TestE5GrowingBounds:
+    """E5 — the A_{f,g} algorithm copes with growing delays and star gaps."""
+
+    def test_fg_algorithm_under_growing_scenario(self):
+        scenario = GrowingStarScenario(
+            n=5,
+            t=2,
+            center=2,
+            seed=140,
+            max_gap=2,
+            f=lambda k: min(4, k // 8),
+            g=lambda rn: min(3.0, 0.02 * rn),
+        )
+        result = run_omega_experiment(scenario, FgOmega, duration=400.0, seed=140)
+        assert_eventual_leadership(result, duration=400.0)
+
+    def test_fg_with_zero_functions_matches_figure3(self):
+        scenario = IntermittentRotatingStarScenario(n=5, t=2, center=1, seed=141, max_gap=3)
+        fg = run_omega_experiment(scenario, FgOmega, duration=200.0, seed=141)
+        fig3 = run_omega_experiment(scenario, Figure3Omega, duration=200.0, seed=141)
+        # With f == g == 0 the A_{f,g} algorithm degenerates to Figure 3 exactly:
+        # same messages, same rounds, same final leader on the same seed.
+        assert fg.final_leader == fig3.final_leader
+        assert fg.messages_sent == fig3.messages_sent
+        assert fg.rounds_completed == fig3.rounds_completed
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_experiment_exactly(self):
+        scenario = EventualTSourceScenario(n=5, t=2, center=1, seed=150)
+        first = run_omega_experiment(scenario, Figure3Omega, duration=150.0, seed=150)
+        second = run_omega_experiment(scenario, Figure3Omega, duration=150.0, seed=150)
+        assert first.messages_sent == second.messages_sent
+        assert first.stabilization_time == second.stabilization_time
+        assert first.final_leader == second.final_leader

@@ -1,0 +1,67 @@
+"""Tests for the asyncio real-time runtime adapter."""
+
+import asyncio
+
+import pytest
+
+from repro.core import Figure3Omega, OmegaConfig
+from repro.runtime import AsyncioCluster
+from repro.simulation.delays import ConstantDelay
+
+
+def run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+def build_cluster(n=4, t=1, time_scale=0.002, delay=None):
+    config = OmegaConfig(alive_period=1.0, timeout_unit=1.0)
+
+    def factory(pid):
+        return Figure3Omega(pid=pid, n=n, t=t, config=config)
+
+    return AsyncioCluster(
+        n=n,
+        t=t,
+        algorithm_factory=factory,
+        delay_model=delay if delay is not None else ConstantDelay(0.1),
+        time_scale=time_scale,
+        seed=1,
+    )
+
+
+class TestAsyncioCluster:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_cluster(n=1, t=0)
+
+    def test_cluster_runs_and_elects_a_common_leader(self):
+        cluster = build_cluster()
+
+        async def scenario():
+            await cluster.run(duration=60.0)
+
+        run(scenario())
+        leaders = cluster.leaders()
+        assert set(leaders) == {0, 1, 2, 3}
+        assert len(set(leaders.values())) == 1
+
+    def test_crash_silences_node(self):
+        cluster = build_cluster()
+
+        async def scenario():
+            await cluster.run(duration=40.0, crashes={0: 5.0})
+
+        run(scenario())
+        assert cluster.nodes[0].crashed
+        leaders = cluster.leaders()
+        assert 0 not in leaders  # crashed nodes are not polled
+        # The surviving nodes keep exchanging messages and agree among themselves.
+        assert len(set(leaders.values())) == 1
+
+    def test_now_starts_at_zero(self):
+        cluster = build_cluster()
+        assert cluster.now == 0.0

@@ -1,0 +1,77 @@
+"""Unit tests for crash schedules."""
+
+import pytest
+
+from repro.simulation.crash import CrashSchedule
+from repro.util.rng import RandomSource
+
+
+class TestBuilders:
+    def test_none_schedule_is_empty(self):
+        schedule = CrashSchedule.none()
+        assert len(schedule) == 0
+        assert schedule.is_correct(0)
+
+    def test_crash_set(self):
+        schedule = CrashSchedule.crash_set([1, 3], at=10.0)
+        assert schedule.crash_time(1) == 10.0
+        assert schedule.crash_time(3) == 10.0
+        assert schedule.faulty_ids() == [1, 3]
+
+    def test_staggered(self):
+        schedule = CrashSchedule.staggered([2, 4, 5], start=5.0, spacing=3.0)
+        assert schedule.crash_time(2) == 5.0
+        assert schedule.crash_time(4) == 8.0
+        assert schedule.crash_time(5) == 11.0
+
+    def test_random_respects_t_and_protection(self):
+        rng = RandomSource(3)
+        schedule = CrashSchedule.random(n=7, t=3, rng=rng, horizon=100.0, protect=[0])
+        assert len(schedule) == 3
+        assert 0 not in schedule.faulty_ids()
+        for pid in schedule.faulty_ids():
+            assert 0.0 <= schedule.crash_time(pid) <= 100.0
+
+    def test_random_with_explicit_count(self):
+        schedule = CrashSchedule.random(n=5, t=2, rng=RandomSource(1), horizon=10.0, count=1)
+        assert len(schedule) == 1
+
+    def test_random_rejects_count_above_t(self):
+        with pytest.raises(ValueError):
+            CrashSchedule.random(n=5, t=1, rng=RandomSource(1), horizon=10.0, count=2)
+
+    def test_random_rejects_overprotection(self):
+        with pytest.raises(ValueError):
+            CrashSchedule.random(
+                n=3, t=2, rng=RandomSource(1), horizon=10.0, protect=[0, 1, 2]
+            )
+
+
+class TestQueries:
+    def test_correct_ids(self):
+        schedule = CrashSchedule({1: 5.0})
+        assert schedule.correct_ids(4) == [0, 2, 3]
+
+    def test_items(self):
+        schedule = CrashSchedule({2: 7.0})
+        assert dict(schedule.items()) == {2: 7.0}
+
+    def test_crash_time_none_for_correct(self):
+        assert CrashSchedule.none().crash_time(3) is None
+
+
+class TestValidation:
+    def test_accepts_at_most_t_crashes(self):
+        CrashSchedule({0: 1.0, 1: 2.0}).validate(n=5, t=2)
+
+    def test_rejects_too_many_crashes(self):
+        with pytest.raises(ValueError, match="crashes 3"):
+            CrashSchedule({0: 1.0, 1: 2.0, 2: 3.0}).validate(n=5, t=2)
+
+    def test_rejects_out_of_range_pid(self):
+        with pytest.raises(ValueError, match="outside"):
+            CrashSchedule({7: 1.0}).validate(n=5, t=2)
+
+    def test_rejects_negative_crash_time(self):
+        with pytest.raises(ValueError):
+            CrashSchedule({0: -1.0})

@@ -1,0 +1,74 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.simulation.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "abc":
+            queue.push(1.0, lambda l=label: order.append(l))
+        while queue.pop() is not None:
+            pass
+        # pop does not run callbacks; run them manually in pop order
+        queue2 = EventQueue()
+        events = [queue2.push(1.0, lambda l=label: order.append(l)) for label in "xyz"]
+        popped = [queue2.pop() for _ in range(3)]
+        assert [event.seq for event in popped] == sorted(event.seq for event in events)
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(first)
+        assert len(queue) == 1
+        queue.pop()
+        assert len(queue) == 0
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.pop() is second
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 5.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_double_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0

@@ -1,0 +1,173 @@
+"""Unit tests for the simulator process shell (crash-stop semantics, timers)."""
+
+import pytest
+
+from repro.core.interfaces import Message, Process
+from repro.core.messages import Alive
+from repro.simulation.delays import ConstantDelay
+from repro.simulation.network import Network
+from repro.simulation.process import SimProcessShell
+from repro.simulation.scheduler import EventScheduler
+from repro.util.rng import RandomSource
+
+
+class _Recorder(Process):
+    """Records every event handed to it and optionally arms timers."""
+
+    def __init__(self):
+        self.started = False
+        self.messages = []
+        self.timers = []
+        self.crashed = False
+        self.stopped = False
+
+    def on_start(self, env):
+        self.started = True
+
+    def on_message(self, env, sender, message):
+        self.messages.append((sender, message))
+
+    def on_timer(self, env, timer):
+        self.timers.append(timer.name)
+
+    def on_crash(self, env):
+        self.crashed = True
+
+    def on_stop(self, env):
+        self.stopped = True
+
+
+def build_shell(n=2):
+    scheduler = EventScheduler()
+    network = Network(scheduler, ConstantDelay(1.0))
+    shells = []
+    algorithms = []
+    for pid in range(n):
+        algorithm = _Recorder()
+        shell = SimProcessShell(
+            pid=pid,
+            algorithm=algorithm,
+            scheduler=scheduler,
+            network=network,
+            process_ids=list(range(n)),
+            rng=RandomSource(0, label=str(pid)),
+        )
+        shells.append(shell)
+        algorithms.append(algorithm)
+    return scheduler, network, shells, algorithms
+
+
+class TestLifecycle:
+    def test_start_invokes_on_start(self):
+        _, _, shells, algorithms = build_shell()
+        shells[0].start()
+        assert algorithms[0].started is True
+
+    def test_double_start_rejected(self):
+        _, _, shells, _ = build_shell()
+        shells[0].start()
+        with pytest.raises(RuntimeError):
+            shells[0].start()
+
+    def test_stop_invokes_on_stop_for_live_process(self):
+        _, _, shells, algorithms = build_shell()
+        shells[0].start()
+        shells[0].stop()
+        assert algorithms[0].stopped is True
+
+    def test_stop_skipped_for_crashed_process(self):
+        _, _, shells, algorithms = build_shell()
+        shells[0].start()
+        shells[0].crash()
+        shells[0].stop()
+        assert algorithms[0].stopped is False
+
+
+class TestMessaging:
+    def test_send_and_deliver(self):
+        scheduler, _, shells, algorithms = build_shell()
+        shells[0].start()
+        shells[1].start()
+        shells[0].send(1, Alive.make(1, {0: 0, 1: 0}))
+        scheduler.run_until(2.0)
+        assert len(algorithms[1].messages) == 1
+        assert shells[0].messages_sent == 1
+        assert shells[1].messages_received == 1
+
+    def test_crashed_process_does_not_send(self):
+        scheduler, network, shells, _ = build_shell()
+        shells[0].start()
+        shells[0].crash()
+        shells[0].send(1, Alive.make(1, {0: 0, 1: 0}))
+        assert network.stats.total_sent == 0
+
+    def test_crashed_process_does_not_receive(self):
+        scheduler, _, shells, algorithms = build_shell()
+        shells[0].start()
+        shells[1].start()
+        shells[0].send(1, Alive.make(1, {0: 0, 1: 0}))
+        shells[1].crash()
+        scheduler.run_until(2.0)
+        assert algorithms[1].messages == []
+
+
+class TestTimers:
+    def test_timer_fires_with_name(self):
+        scheduler, _, shells, algorithms = build_shell()
+        shells[0].start()
+        shells[0].set_timer(3.0, "ping")
+        scheduler.run_until(5.0)
+        assert algorithms[0].timers == ["ping"]
+
+    def test_cancelled_timer_does_not_fire(self):
+        scheduler, _, shells, algorithms = build_shell()
+        shells[0].start()
+        handle = shells[0].set_timer(3.0, "ping")
+        shells[0].cancel_timer(handle)
+        scheduler.run_until(5.0)
+        assert algorithms[0].timers == []
+
+    def test_crash_cancels_pending_timers(self):
+        scheduler, _, shells, algorithms = build_shell()
+        shells[0].start()
+        shells[0].set_timer(3.0, "ping")
+        shells[0].crash()
+        scheduler.run_until(5.0)
+        assert algorithms[0].timers == []
+
+    def test_timer_on_crashed_process_returns_cancelled_handle(self):
+        _, _, shells, _ = build_shell()
+        shells[0].start()
+        shells[0].crash()
+        handle = shells[0].set_timer(1.0, "ping")
+        assert handle.cancelled is True
+
+    def test_negative_delay_rejected(self):
+        _, _, shells, _ = build_shell()
+        shells[0].start()
+        with pytest.raises(ValueError):
+            shells[0].set_timer(-1.0, "ping")
+
+
+class TestCrash:
+    def test_crash_records_time_and_invokes_handler(self):
+        scheduler, _, shells, algorithms = build_shell()
+        shells[0].start()
+        scheduler.run_until(4.0)
+        shells[0].crash()
+        assert shells[0].crashed is True
+        assert shells[0].crash_time == 4.0
+        assert algorithms[0].crashed is True
+
+    def test_double_crash_is_idempotent(self):
+        _, _, shells, algorithms = build_shell()
+        shells[0].start()
+        shells[0].crash()
+        shells[0].crash()
+        assert shells[0].crashed is True
+
+    def test_is_alive_reflects_crash(self):
+        _, _, shells, _ = build_shell()
+        assert shells[0].is_alive() is True
+        shells[0].crash()
+        assert shells[0].is_alive() is False

@@ -1,0 +1,138 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.simulation.scheduler import EventScheduler
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert EventScheduler().now == 0.0
+
+    def test_schedule_after_uses_relative_delay(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule_after(2.0, lambda: times.append(scheduler.now))
+        scheduler.run_until(10.0)
+        assert times == [2.0]
+
+    def test_schedule_at_absolute_time(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule_at(4.0, lambda: times.append(scheduler.now))
+        scheduler.run_until(10.0)
+        assert times == [4.0]
+
+    def test_schedule_in_the_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(5.0)
+        with pytest.raises(ValueError, match="past"):
+            scheduler.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_after(-1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule_after(1.0, lambda: fired.append(True))
+        scheduler.cancel(event)
+        scheduler.run_until(5.0)
+        assert fired == []
+
+
+class TestRunUntil:
+    def test_clock_left_at_horizon(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_after(1.0, lambda: None)
+        scheduler.run_until(7.5)
+        assert scheduler.now == 7.5
+
+    def test_events_beyond_horizon_not_run(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_after(3.0, lambda: fired.append("early"))
+        scheduler.schedule_after(30.0, lambda: fired.append("late"))
+        scheduler.run_until(10.0)
+        assert fired == ["early"]
+        scheduler.run_until(40.0)
+        assert fired == ["early", "late"]
+
+    def test_composability_of_run_until(self):
+        scheduler = EventScheduler()
+        fired = []
+        for delay in (1.0, 5.0, 9.0):
+            scheduler.schedule_after(delay, lambda d=delay: fired.append(d))
+        scheduler.run_until(4.0)
+        scheduler.run_until(10.0)
+        assert fired == [1.0, 5.0, 9.0]
+
+    def test_run_until_backwards_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(5.0)
+        with pytest.raises(ValueError):
+            scheduler.run_until(4.0)
+
+    def test_events_scheduled_during_execution_run_in_same_call(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(scheduler.now)
+            if len(fired) < 3:
+                scheduler.schedule_after(1.0, chain)
+
+        scheduler.schedule_after(1.0, chain)
+        scheduler.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_guard(self):
+        scheduler = EventScheduler()
+
+        def loop():
+            scheduler.schedule_after(0.0, loop)
+
+        scheduler.schedule_after(0.0, loop)
+        with pytest.raises(RuntimeError, match="max_events"):
+            scheduler.run_until(1.0, max_events=100)
+
+    def test_returns_number_of_executed_events(self):
+        scheduler = EventScheduler()
+        for _ in range(4):
+            scheduler.schedule_after(1.0, lambda: None)
+        assert scheduler.run_until(2.0) == 4
+
+    def test_executed_counter(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_after(1.0, lambda: None)
+        scheduler.run_until(2.0)
+        assert scheduler.executed == 1
+
+
+class TestStepAndQuiescence:
+    def test_step_returns_false_when_empty(self):
+        assert EventScheduler().step() is False
+
+    def test_run_to_quiescence(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_after(1.0, lambda: fired.append(1))
+        scheduler.schedule_after(2.0, lambda: fired.append(2))
+        executed = scheduler.run_to_quiescence()
+        assert executed == 2
+        assert fired == [1, 2]
+
+    def test_pending_count(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_after(1.0, lambda: None)
+        scheduler.schedule_after(2.0, lambda: None)
+        assert scheduler.pending == 2
+
+    def test_same_timestamp_runs_in_schedule_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(1.0, lambda: order.append("first"))
+        scheduler.schedule_at(1.0, lambda: order.append("second"))
+        scheduler.run_until(1.0)
+        assert order == ["first", "second"]

@@ -1,0 +1,87 @@
+"""Unit tests for repro.util.rng."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import RandomSource, derive_seed, spread
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "network") == derive_seed(42, "network")
+
+    def test_label_changes_seed(self):
+        assert derive_seed(42, "network") != derive_seed(42, "process")
+
+    def test_parent_changes_seed(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=20))
+    def test_result_in_range(self, seed, label):
+        value = derive_seed(seed, label)
+        assert 0 <= value < 2**63
+
+
+class TestRandomSource:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(7, label="x")
+        b = RandomSource(7, label="x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_labels_differ(self):
+        a = RandomSource(7, label="x")
+        b = RandomSource(7, label="y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_child_streams_are_independent_of_draw_order(self):
+        parent = RandomSource(3, label="root")
+        child_a_first = parent.child("a").random()
+        parent2 = RandomSource(3, label="root")
+        # Drawing from another child first must not change child "a"'s stream.
+        parent2.child("b").random()
+        child_a_second = parent2.child("a").random()
+        assert child_a_first == child_a_second
+
+    def test_uniform_bounds(self):
+        rng = RandomSource(1)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_sample_returns_distinct_items(self):
+        rng = RandomSource(1)
+        picked = rng.sample(list(range(10)), 4)
+        assert len(picked) == 4
+        assert len(set(picked)) == 4
+
+    def test_randint_bounds(self):
+        rng = RandomSource(5)
+        values = {rng.randint(1, 3) for _ in range(50)}
+        assert values <= {1, 2, 3}
+
+    def test_choice_picks_member(self):
+        rng = RandomSource(5)
+        assert rng.choice(["a", "b"]) in ("a", "b")
+
+    def test_expovariate_positive(self):
+        rng = RandomSource(5)
+        assert rng.expovariate(1.0) > 0
+
+    def test_paretovariate_at_least_one(self):
+        rng = RandomSource(5)
+        assert rng.paretovariate(2.0) >= 1.0
+
+    def test_shuffle_preserves_elements(self):
+        rng = RandomSource(5)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestSpread:
+    def test_empty_iterable(self):
+        assert spread([]) == 0.0
+
+    def test_spread_of_values(self):
+        assert spread([3.0, 7.5, 5.0]) == pytest.approx(4.5)
