@@ -19,6 +19,21 @@ from repro.simulation.crash import CrashSchedule
 from repro.util.tables import format_table
 
 
+def scaled(value, quick: bool, factor: float = 0.25, minimum=None):
+    """Scale a horizon / workload size down in ``--quick`` smoke mode.
+
+    Returns *value* unchanged in normal runs; ``value * factor`` (at least
+    *minimum*, preserving int-ness) when *quick* is set, so the CI smoke job
+    exercises every benchmark path in a fraction of the time.
+    """
+    if not quick:
+        return value
+    shrunk = value * factor
+    if minimum is not None:
+        shrunk = max(minimum, shrunk)
+    return type(value)(shrunk)
+
+
 def run_and_summarize(
     scenario: Scenario,
     algorithm_cls,

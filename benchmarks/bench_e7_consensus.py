@@ -7,6 +7,7 @@ cost of the whole stack (oracle + consensus).
 
 import pytest
 
+from _harness import scaled
 from repro.assumptions import IntermittentRotatingStarScenario
 from repro.simulation import CrashSchedule
 from repro.system_builders import build_consensus_system
@@ -16,30 +17,38 @@ HORIZON = 400.0
 CHECK_INTERVAL = 10.0
 
 
-def run_replication(n, t, seed, crash_times):
+def run_replication(
+    n, t, seed, crash_times, commands_per_process=1, batch_size=1, horizon=HORIZON
+):
     scenario = IntermittentRotatingStarScenario(n=n, t=t, center=n - 1, seed=seed, max_gap=4)
     system = build_consensus_system(
-        n=n, t=t, scenario=scenario, seed=seed, crash_schedule=CrashSchedule(crash_times)
+        n=n,
+        t=t,
+        scenario=scenario,
+        seed=seed,
+        crash_schedule=CrashSchedule(crash_times),
+        batch_size=batch_size,
     )
     expected = set()
     for shell in system.shells:
-        command = f"cmd-{shell.pid}"
-        expected.add(command)
-        shell.algorithm.submit(command)
+        for index in range(commands_per_process):
+            command = f"cmd-{shell.pid}-{index}"
+            expected.add(command)
+            shell.algorithm.submit(command)
 
     completion_time = None
     time = 0.0
-    while time < HORIZON:
+    while time < horizon:
         time += CHECK_INTERVAL
         system.run_until(time)
         delivered_everywhere = all(
-            expected <= set(shell.algorithm.delivered())
+            expected <= set(shell.algorithm.log.delivered_commands())
             for shell in system.correct_shells()
         )
         if delivered_everywhere:
             completion_time = time
             break
-    system.run_until(HORIZON)
+    system.run_until(horizon)
     return {
         "n": n,
         "t": t,
@@ -75,3 +84,45 @@ def test_e7_replicated_log_completion(benchmark, n, t, crash_times):
         )
     )
     assert row["completion_time"] is not None, "commands were not delivered everywhere"
+
+
+def test_e7_long_log_hot_paths(benchmark, quick):
+    """A long log (many positions) exercises the drive/decide hot paths.
+
+    The seed implementation rescanned the whole log on every drive tick and
+    decision (quadratic in log length), which dominated wall time here; the
+    contiguous-prefix cursor and decided-value index make this case linear.  The
+    batched variant additionally shows the same workload draining in a fraction
+    of the virtual time (many commands per consensus instance).
+    """
+    commands_per_process = scaled(12, quick, minimum=4)
+    horizon = scaled(600.0, quick, minimum=200.0)
+
+    def run():
+        unbatched = run_replication(
+            5, 2, seed=7300, crash_times={},
+            commands_per_process=commands_per_process, batch_size=1, horizon=horizon,
+        )
+        batched = run_replication(
+            5, 2, seed=7300, crash_times={},
+            commands_per_process=commands_per_process, batch_size=8, horizon=horizon,
+        )
+        return unbatched, batched
+
+    unbatched, batched = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["unbatched"] + list(unbatched.values()),
+        ["batch=8"] + list(batched.values()),
+    ]
+    benchmark.extra_info["rows"] = rows
+    print(
+        "\n"
+        + format_table(
+            ["variant"] + list(unbatched.keys()),
+            rows,
+            title=f"E7: long log ({commands_per_process} commands/process)",
+        )
+    )
+    assert unbatched["completion_time"] is not None
+    assert batched["completion_time"] is not None
+    assert batched["completion_time"] <= unbatched["completion_time"]

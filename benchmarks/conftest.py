@@ -13,5 +13,13 @@ pytest-benchmark ``extra_info`` of every benchmark.)
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make the shared harness importable as `_harness` regardless of rootdir layout.
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+@pytest.fixture
+def quick(request):
+    """True when the suite runs in ``--quick`` smoke mode (see _harness.scaled)."""
+    return bool(request.config.getoption("--quick", default=False))

@@ -1,0 +1,16 @@
+"""Repo-level pytest configuration.
+
+Registers the ``--quick`` flag used by the benchmark suite (``benchmarks/``) to
+shrink horizons and workload sizes for CI smoke runs.  Registering it here (an
+initial conftest) makes the option available regardless of which directory is
+collected.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="benchmark smoke mode: shrink simulated horizons and workloads",
+    )

@@ -12,6 +12,9 @@ asynchronous crash-prone system model ``AS_{n,t}`` used by the paper:
 * an Omega-based indulgent consensus and replicated log realising Theorem 5
   (:mod:`repro.consensus`);
 * fair-lossy links and a reliable-channel stack (:mod:`repro.channels`);
+* a client-facing sharded key-value service served by the consensus stack
+  (:mod:`repro.service`): replicated state machines, batched proposals,
+  exactly-once client sessions and workload generators;
 * measurement and experiment harnesses (:mod:`repro.analysis`);
 * an asyncio real-time runtime for the same algorithm objects (:mod:`repro.runtime`).
 
@@ -24,6 +27,21 @@ Quickstart
 >>> system.run_until(600.0)
 >>> sorted({p.algorithm.leader() for p in system.alive_shells()})
 [0]
+
+Service layer
+-------------
+
+A sharded key-value store: each shard is an independent Omega+consensus group,
+all multiplexed on one virtual clock; clients address keys, commands carry
+``(client_id, seq)`` identities and are applied exactly once.
+
+>>> from repro import Command, build_sharded_service
+>>> service = build_sharded_service(num_shards=4, n=3, t=1, seed=3, batch_size=8)
+>>> service.submit(Command.put("alice", 1, "greeting", "hello"))
+3
+>>> service.run_until(60.0)  # doctest: +SKIP
+>>> service.is_consistent()  # doctest: +SKIP
+True
 """
 
 from repro.core import (
@@ -63,7 +81,22 @@ from repro.analysis import (
     ExperimentResult,
     LeaderPoller,
     MessageStats,
+    ServiceSummary,
     run_omega_experiment,
+    summarize_service,
+)
+from repro.consensus import Batch, Command
+from repro.service import (
+    ClosedLoopClient,
+    KeyValueStore,
+    ServiceReplica,
+    ShardedService,
+    StateMachine,
+    Workload,
+    build_sharded_service,
+    start_clients,
+    uniform_workload,
+    zipfian_workload,
 )
 from repro.system_builders import build_omega_system, build_consensus_system
 
@@ -104,7 +137,22 @@ __all__ = [
     "ExperimentResult",
     "LeaderPoller",
     "MessageStats",
+    "ServiceSummary",
     "run_omega_experiment",
+    "summarize_service",
+    # service
+    "Batch",
+    "ClosedLoopClient",
+    "Command",
+    "KeyValueStore",
+    "ServiceReplica",
+    "ShardedService",
+    "StateMachine",
+    "Workload",
+    "build_sharded_service",
+    "start_clients",
+    "uniform_workload",
+    "zipfian_workload",
     # builders
     "build_omega_system",
     "build_consensus_system",

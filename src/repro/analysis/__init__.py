@@ -9,20 +9,32 @@ from repro.analysis.experiments import (
     summarize_run,
 )
 from repro.analysis.metrics import LeaderPoller, LeaderSample, MessageStats, summarize_levels
+from repro.analysis.service_metrics import (
+    LatencyStats,
+    ServiceSummary,
+    ShardReport,
+    latency_stats,
+    summarize_service,
+)
 from repro.analysis.trace import TraceEvent, Tracer
 
 __all__ = [
     "BoundsAudit",
     "ExperimentResult",
+    "LatencyStats",
     "LeaderPoller",
     "LeaderSample",
     "MessageStats",
+    "ServiceSummary",
+    "ShardReport",
     "TraceEvent",
     "Tracer",
     "audit_bounds",
     "build_system",
     "compare_algorithms",
+    "latency_stats",
     "run_omega_experiment",
     "summarize_levels",
     "summarize_run",
+    "summarize_service",
 ]

@@ -1,5 +1,6 @@
 """Omega-based consensus and replicated log (Theorem 5)."""
 
+from repro.consensus.commands import Batch, Command, flatten_value
 from repro.consensus.instance import NO_BALLOT, ConsensusInstance, InstanceState
 from repro.consensus.messages import (
     AcceptRequest,
@@ -16,6 +17,8 @@ from repro.consensus.stack import LOG_CHANNEL, OMEGA_CHANNEL, OmegaConsensusStac
 __all__ = [
     "AcceptRequest",
     "Accepted",
+    "Batch",
+    "Command",
     "ConsensusInstance",
     "Decide",
     "Forward",
@@ -29,4 +32,5 @@ __all__ = [
     "Prepare",
     "Promise",
     "ReplicatedLog",
+    "flatten_value",
 ]

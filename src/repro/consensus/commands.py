@@ -1,0 +1,96 @@
+"""Command envelopes and proposal batches for the replicated log.
+
+The seed replicated log deduplicated submissions by *value equality*, which is
+fragile: two genuinely distinct commands with equal payloads (two ``+1``
+increments, say) collapse into one.  A :class:`Command` fixes that by carrying an
+explicit identity ``(client_id, seq)`` assigned by the submitting client session:
+equality over the frozen dataclass *is* identity, retransmissions of the same
+command compare equal (and are deduplicated), while distinct commands with equal
+effects compare different (and are both ordered and applied).
+
+A :class:`Batch` groups many commands into a single consensus value so that one
+consensus instance (one Paxos round trip) orders many commands — the classic
+amortisation that turns a per-command protocol into a high-throughput log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Command:
+    """One client command, uniquely identified by ``(client_id, seq)``.
+
+    Attributes
+    ----------
+    client_id:
+        Identifier of the issuing client session.
+    seq:
+        Per-client sequence number (1, 2, ...); retransmissions reuse it, so the
+        state machine can apply each command exactly once.
+    op:
+        Operation name (the key-value store understands ``put``, ``get``,
+        ``delete``, ``cas`` and ``incr``).
+    key:
+        The key the operation addresses (also the sharding key).
+    args:
+        Operation-specific arguments (must be hashable; commands travel inside
+        frozen consensus messages).
+    """
+
+    client_id: str
+    seq: int
+    op: str
+    key: str
+    args: Tuple[Any, ...] = ()
+
+    # ------------------------------------------------------------ constructors --
+    @classmethod
+    def put(cls, client_id: str, seq: int, key: str, value: Any) -> "Command":
+        """Store *value* under *key*."""
+        return cls(client_id=client_id, seq=seq, op="put", key=key, args=(value,))
+
+    @classmethod
+    def get(cls, client_id: str, seq: int, key: str) -> "Command":
+        """Read the value under *key* (ordered like any other command)."""
+        return cls(client_id=client_id, seq=seq, op="get", key=key)
+
+    @classmethod
+    def delete(cls, client_id: str, seq: int, key: str) -> "Command":
+        """Remove *key*; the result reports whether it existed."""
+        return cls(client_id=client_id, seq=seq, op="delete", key=key)
+
+    @classmethod
+    def cas(
+        cls, client_id: str, seq: int, key: str, expected: Any, new: Any
+    ) -> "Command":
+        """Compare-and-swap: set *key* to *new* iff its value equals *expected*."""
+        return cls(client_id=client_id, seq=seq, op="cas", key=key, args=(expected, new))
+
+    @classmethod
+    def incr(cls, client_id: str, seq: int, key: str, delta: int = 1) -> "Command":
+        """Add *delta* to the integer counter under *key* (0 when absent)."""
+        return cls(client_id=client_id, seq=seq, op="incr", key=key, args=(delta,))
+
+
+@dataclasses.dataclass(frozen=True)
+class Batch:
+    """An ordered group of commands decided as one consensus value."""
+
+    commands: Tuple[Any, ...]
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+def flatten_value(value: Any) -> Tuple[Any, ...]:
+    """Return the commands carried by a decided value.
+
+    A :class:`Batch` contributes its members in order; any other value (a bare
+    command, a legacy opaque value) contributes itself.
+    """
+    if isinstance(value, Batch):
+        return value.commands
+    return (value,)

@@ -7,7 +7,7 @@ position — to the ballot-based protocol of :mod:`repro.consensus.instance`.  D
 positions form a totally ordered log delivered identically at every process
 (atomic broadcast by repeated consensus, as in [3, 12]).
 
-Properties exercised by the tests and experiments E7/E8:
+Properties exercised by the tests and experiments E7/E8/E10:
 
 * **Safety always** (indulgence): for every log position, no two processes ever
   learn different values, and every learnt value was submitted by some process (or
@@ -16,14 +16,29 @@ Properties exercised by the tests and experiments E7/E8:
 * **Liveness under the paper's assumption**: with ``t < n/2`` and a scenario
   satisfying the intermittent rotating t-star, every submitted command is eventually
   decided and delivered at every correct process.
+
+Two throughput features serve the service layer of :mod:`repro.service`:
+
+* **Batching** (``batch_size > 1``): the leader packs up to ``batch_size`` distinct
+  pending commands into one :class:`~repro.consensus.commands.Batch` per instance,
+  amortising the consensus round trips over many commands.
+* **Delivery callback** (``on_deliver``): invoked once per non-noop value as the
+  contiguous decided prefix extends, in log order — the hook state machines use to
+  apply the log without rescanning it.
+
+All hot paths are O(1) amortised: the first undecided position is tracked by a
+contiguous-prefix cursor, decided values are indexed by a set (falling back to an
+equality scan only for unhashable legacy values), and the delivered prefix is
+materialised incrementally.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.consensus.commands import Batch, flatten_value
 from repro.consensus.instance import ConsensusInstance
-from repro.consensus.messages import Decide, Forward
+from repro.consensus.messages import Forward
 from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
 from repro.util.validation import require_positive, validate_process_count
 
@@ -31,6 +46,34 @@ from repro.util.validation import require_positive, validate_process_count
 NOOP = "<noop>"
 
 _DRIVE_TIMER = "drive"
+
+
+class _ValueIndex:
+    """Set-like membership index over decided values.
+
+    Hashable values (strings, :class:`~repro.consensus.commands.Command`, ...) live
+    in a set; the rare unhashable legacy value degrades to an equality scan over a
+    short list instead of poisoning the whole index.
+    """
+
+    def __init__(self) -> None:
+        self._hashable: set = set()
+        self._unhashable: List[Any] = []
+
+    def add(self, value: Any) -> None:
+        try:
+            self._hashable.add(value)
+        except TypeError:
+            if value not in self._unhashable:
+                self._unhashable.append(value)
+
+    def __contains__(self, value: Any) -> bool:
+        try:
+            if value in self._hashable:
+                return True
+        except TypeError:
+            pass
+        return bool(self._unhashable) and value in self._unhashable
 
 
 class ReplicatedLog(Process):
@@ -50,6 +93,13 @@ class ReplicatedLog(Process):
     retry_period:
         Minimum time between two proposal attempts of the same instance by the same
         leader (prevents ballot storms while a proposal is in flight).
+    batch_size:
+        Maximum number of distinct commands the leader packs into one consensus
+        value.  1 (the default) proposes bare values exactly like the seed
+        implementation; larger values propose :class:`Batch` envelopes.
+    on_deliver:
+        Optional callback ``(position, value)`` invoked, in log order, for every
+        non-noop value as the contiguous decided prefix extends.
     """
 
     variant_name = "replicated-log"
@@ -62,6 +112,8 @@ class ReplicatedLog(Process):
         oracle: LeaderOracle,
         drive_period: float = 2.0,
         retry_period: float = 10.0,
+        batch_size: int = 1,
+        on_deliver: Optional[Callable[[int, Any], None]] = None,
     ) -> None:
         validate_process_count(n, t)
         if t >= n / 2:
@@ -71,6 +123,8 @@ class ReplicatedLog(Process):
             )
         require_positive(drive_period, "drive_period")
         require_positive(retry_period, "retry_period")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.pid = pid
         self.n = n
         self.t = t
@@ -78,6 +132,8 @@ class ReplicatedLog(Process):
         self.oracle = oracle
         self.drive_period = drive_period
         self.retry_period = retry_period
+        self.batch_size = batch_size
+        self.on_deliver = on_deliver
 
         self._instances: Dict[int, ConsensusInstance] = {}
         self._attempts: Dict[int, int] = {}
@@ -91,9 +147,23 @@ class ReplicatedLog(Process):
         #: Number of proposal attempts started by this process (reporting).
         self.proposals_started = 0
 
+        # Hot-path state: first position not yet decided (contiguous-prefix
+        # cursor), highest decided position, decided-command index, and the
+        # materialised delivered prefix (non-noop values at positions < cursor).
+        self._frontier = 0
+        self._max_decided = -1
+        self._decided_index = _ValueIndex()
+        self._delivered: List[Any] = []
+
     # ------------------------------------------------------------------ client API --
     def submit(self, value: Any) -> None:
-        """Submit a command for total-order delivery (callable from outside handlers)."""
+        """Submit a command for total-order delivery (callable from outside handlers).
+
+        Values are deduplicated by equality: retransmissions of the same
+        :class:`~repro.consensus.commands.Command` (same ``(client_id, seq)`` and
+        payload) are dropped, while distinct commands with equal effects carry
+        distinct identities and are both kept.
+        """
         if value == NOOP:
             raise ValueError("the no-op filler value cannot be submitted")
         if value not in self.pending and not self._is_decided_value(value):
@@ -106,14 +176,14 @@ class ReplicatedLog(Process):
     def delivered(self) -> List[Any]:
         """Return the delivered prefix: decided values at contiguous positions 0..k,
         no-op fillers excluded."""
-        values: List[Any] = []
-        position = 0
-        while position in self.decisions:
-            value = self.decisions[position]
-            if value != NOOP:
-                values.append(value)
-            position += 1
-        return values
+        return list(self._delivered)
+
+    def delivered_commands(self) -> List[Any]:
+        """Return the delivered prefix with batches flattened into their commands."""
+        commands: List[Any] = []
+        for value in self._delivered:
+            commands.extend(flatten_value(value))
+        return commands
 
     # ------------------------------------------------------------------ lifecycle --
     def on_start(self, env: Environment) -> None:
@@ -154,24 +224,49 @@ class ReplicatedLog(Process):
         return instance
 
     def _is_decided_value(self, value: Any) -> bool:
-        return any(decided == value for decided in self.decisions.values())
+        return value in self._decided_index
 
     def _on_decide(self, instance_id: int, value: Any) -> None:
         self.decisions[instance_id] = value
-        self.pending = [v for v in self.pending if v != value]
-        self.forwarded = [v for v in self.forwarded if v != value]
+        if instance_id > self._max_decided:
+            self._max_decided = instance_id
+        for command in flatten_value(value):
+            self._decided_index.add(command)
+        if self.pending:
+            self.pending = [v for v in self.pending if v not in self._decided_index]
+        if self.forwarded:
+            self.forwarded = [
+                v for v in self.forwarded if v not in self._decided_index
+            ]
+        self._advance_frontier()
+
+    def _advance_frontier(self) -> None:
+        while self._frontier in self.decisions:
+            value = self.decisions[self._frontier]
+            position = self._frontier
+            self._frontier += 1
+            if value != NOOP:
+                self._delivered.append(value)
+                if self.on_deliver is not None:
+                    self.on_deliver(position, value)
 
     def _next_position(self) -> int:
-        position = 0
-        while position in self.decisions:
-            position += 1
-        return position
+        return self._frontier
 
     def _candidate_value(self) -> Optional[Any]:
+        """Pick up to ``batch_size`` distinct undecided commands to propose."""
+        picked: List[Any] = []
         for value in self.pending + self.forwarded:
-            if not self._is_decided_value(value):
-                return value
-        return None
+            if value in self._decided_index or value in picked:
+                continue
+            picked.append(value)
+            if len(picked) >= self.batch_size:
+                break
+        if not picked:
+            return None
+        if self.batch_size == 1 or len(picked) == 1:
+            return picked[0]
+        return Batch(commands=tuple(picked))
 
     def _drive(self, env: Environment) -> None:
         leader = self.oracle.leader()
@@ -184,7 +279,7 @@ class ReplicatedLog(Process):
         value = self._candidate_value()
         if value is None:
             # Nothing to propose; only fill a hole if positions above it decided.
-            if any(existing > position for existing in self.decisions):
+            if self._max_decided > position:
                 value = NOOP
             else:
                 return

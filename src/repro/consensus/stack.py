@@ -38,6 +38,7 @@ class OmegaConsensusStack(CompositeProcess, LeaderOracle):
         omega_config: Optional[OmegaConfig] = None,
         drive_period: float = 2.0,
         retry_period: float = 10.0,
+        batch_size: int = 1,
     ) -> None:
         omega = omega_cls(pid=pid, n=n, t=t, config=omega_config)
         log = ReplicatedLog(
@@ -47,6 +48,7 @@ class OmegaConsensusStack(CompositeProcess, LeaderOracle):
             oracle=omega,
             drive_period=drive_period,
             retry_period=retry_period,
+            batch_size=batch_size,
         )
         super().__init__({OMEGA_CHANNEL: omega, LOG_CHANNEL: log})
         self.pid = pid

@@ -1,0 +1,49 @@
+"""Client-facing sharded key-value service on top of the Omega/consensus stack.
+
+The layering, bottom up:
+
+* :mod:`repro.simulation` / :mod:`repro.runtime` — the execution substrate;
+* :mod:`repro.core` — the paper's Omega (eventual leader) algorithms;
+* :mod:`repro.consensus` — indulgent consensus and the batched replicated log;
+* **this package** — replicated state machines (:mod:`~repro.service.state_machine`),
+  service replicas (:mod:`~repro.service.replica`), hash-partitioned shard groups
+  (:mod:`~repro.service.sharding`) and client sessions / workload generators
+  (:mod:`~repro.service.clients`).
+"""
+
+from repro.consensus.commands import Batch, Command, flatten_value
+from repro.service.clients import (
+    ClientStats,
+    ClosedLoopClient,
+    UniformKeys,
+    Workload,
+    ZipfianKeys,
+    generate_commands,
+    start_clients,
+    uniform_workload,
+    zipfian_workload,
+)
+from repro.service.replica import ServiceReplica
+from repro.service.sharding import ShardRouter, ShardedService, build_sharded_service
+from repro.service.state_machine import KeyValueStore, StateMachine
+
+__all__ = [
+    "Batch",
+    "ClientStats",
+    "ClosedLoopClient",
+    "Command",
+    "KeyValueStore",
+    "ServiceReplica",
+    "ShardRouter",
+    "ShardedService",
+    "StateMachine",
+    "UniformKeys",
+    "Workload",
+    "ZipfianKeys",
+    "build_sharded_service",
+    "flatten_value",
+    "generate_commands",
+    "start_clients",
+    "uniform_workload",
+    "zipfian_workload",
+]

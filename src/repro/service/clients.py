@@ -1,0 +1,288 @@
+"""Client sessions and workload generators driving a :class:`ShardedService`.
+
+Clients are *not* processes of the distributed system: they model the outside
+world.  A :class:`ClosedLoopClient` keeps exactly one command in flight — it issues
+a command, polls (on the shared virtual clock) until a correct replica of the home
+shard has applied it, records the latency, and issues the next one.  If a command
+has not taken effect within ``retry_timeout`` (its gateway crashed, a leader change
+swallowed the forward), the client *retransmits the same* ``(client_id, seq)``
+command through another gateway — the scenario the exactly-once session table of
+:class:`~repro.service.state_machine.KeyValueStore` exists for.
+
+Workloads compose a key sampler (uniform or zipfian) with an operation mix, the
+standard shape of key-value benchmarks (YCSB-style): zipfian skew concentrates
+traffic on few hot keys, ``read_fraction`` sets the get share, and the write side
+mixes puts, increments, deletes and compare-and-swaps.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.consensus.commands import Command
+from repro.service.sharding import ShardedService
+from repro.util.rng import RandomSource
+from repro.util.validation import require_positive
+
+#: A sampled operation: (op name, key, args) — the payload of a Command.
+Operation = Tuple[str, str, Tuple]
+
+
+def _build_cdf(weights: Sequence[float]) -> List[float]:
+    """Normalise *weights* into a cumulative distribution (last bucket clamped
+    to exactly 1.0 so bisection never falls off the end)."""
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must have positive total")
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0
+    return cumulative
+
+
+# --------------------------------------------------------------------- key samplers --
+class UniformKeys:
+    """Keys ``key-0 .. key-{num_keys-1}`` drawn uniformly."""
+
+    def __init__(self, num_keys: int) -> None:
+        require_positive(num_keys, "num_keys")
+        self.num_keys = num_keys
+
+    def sample(self, rng: RandomSource) -> str:
+        return f"key-{rng.randint(0, self.num_keys - 1)}"
+
+
+class ZipfianKeys:
+    """Keys drawn from a zipfian distribution (rank ``i`` with weight ``1/i^theta``).
+
+    ``theta`` around 0.99 reproduces the classic hot-key skew of web workloads; the
+    cumulative distribution is precomputed once and sampled by bisection.
+    """
+
+    def __init__(self, num_keys: int, theta: float = 0.99) -> None:
+        require_positive(num_keys, "num_keys")
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta}")
+        self.num_keys = num_keys
+        self.theta = theta
+        self._cdf = _build_cdf([1.0 / (rank**theta) for rank in range(1, num_keys + 1)])
+
+    def sample(self, rng: RandomSource) -> str:
+        rank = bisect.bisect_left(self._cdf, rng.random())
+        return f"key-{min(rank, self.num_keys - 1)}"
+
+
+# ------------------------------------------------------------------------ workloads --
+#: Default write-side operation mix (fractions renormalised internally).
+DEFAULT_WRITE_MIX: Dict[str, float] = {"put": 0.70, "incr": 0.20, "delete": 0.05, "cas": 0.05}
+
+
+class Workload:
+    """Samples ``(op, key, args)`` triples from a key sampler and an operation mix."""
+
+    def __init__(
+        self,
+        key_sampler,
+        read_fraction: float = 0.5,
+        write_mix: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
+        self.key_sampler = key_sampler
+        self.read_fraction = read_fraction
+        mix = dict(write_mix if write_mix is not None else DEFAULT_WRITE_MIX)
+        self._write_ops: List[str] = list(mix)
+        self._write_cdf = _build_cdf([mix[op] for op in self._write_ops])
+
+    def next_operation(self, rng: RandomSource) -> Operation:
+        key = self.key_sampler.sample(rng)
+        if rng.random() < self.read_fraction:
+            return ("get", key, ())
+        op = self._write_ops[bisect.bisect_left(self._write_cdf, rng.random())]
+        if op == "put":
+            return ("put", key, (f"v{rng.randint(0, 999_999)}",))
+        if op == "incr":
+            return ("incr", key, (1,))
+        if op == "delete":
+            return ("delete", key, ())
+        # cas against the absent-key state: deterministic and occasionally succeeds.
+        return ("cas", key, (None, f"c{rng.randint(0, 999_999)}"))
+
+
+def uniform_workload(num_keys: int, read_fraction: float = 0.5) -> Workload:
+    """Uniform-key workload (the unskewed baseline)."""
+    return Workload(UniformKeys(num_keys), read_fraction=read_fraction)
+
+
+def zipfian_workload(
+    num_keys: int, theta: float = 0.99, read_fraction: float = 0.5
+) -> Workload:
+    """Zipfian hot-key workload (the realistic default)."""
+    return Workload(ZipfianKeys(num_keys, theta=theta), read_fraction=read_fraction)
+
+
+def generate_commands(
+    workload: Workload,
+    num_commands: int,
+    num_clients: int,
+    rng: RandomSource,
+    client_prefix: str = "client",
+) -> List[Command]:
+    """Pre-generate *num_commands* commands spread over *num_clients* sessions.
+
+    Sequence numbers are per client and contiguous from 1, so the commands form
+    valid exactly-once sessions when submitted in order.
+    """
+    require_positive(num_commands, "num_commands")
+    require_positive(num_clients, "num_clients")
+    sequences = {c: 0 for c in range(num_clients)}
+    commands: List[Command] = []
+    for index in range(num_commands):
+        client = rng.randint(0, num_clients - 1)
+        sequences[client] += 1
+        op, key, args = workload.next_operation(rng)
+        commands.append(
+            Command(
+                client_id=f"{client_prefix}-{client}",
+                seq=sequences[client],
+                op=op,
+                key=key,
+                args=args,
+            )
+        )
+    return commands
+
+
+# -------------------------------------------------------------------- closed loop --
+@dataclasses.dataclass
+class ClientStats:
+    """Aggregate statistics of one client session."""
+
+    completed: int = 0
+    retries: int = 0
+    latencies: List[float] = dataclasses.field(default_factory=list)
+
+
+class ClosedLoopClient:
+    """One client session with exactly one command in flight.
+
+    Parameters
+    ----------
+    client_id:
+        Session identifier (becomes the commands' ``client_id``).
+    service:
+        The sharded service to drive.
+    workload:
+        Operation generator.
+    rng:
+        Deterministic per-client random source.
+    poll_interval:
+        Virtual time between completion checks.
+    retry_timeout:
+        In-flight time after which the current command is retransmitted (same
+        sequence number) through a fresh gateway.
+    think_time:
+        Pause between a completion and the next issue (0 = saturating client).
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        service: ShardedService,
+        workload: Workload,
+        rng: RandomSource,
+        poll_interval: float = 1.0,
+        retry_timeout: float = 40.0,
+        think_time: float = 0.0,
+    ) -> None:
+        require_positive(poll_interval, "poll_interval")
+        require_positive(retry_timeout, "retry_timeout")
+        self.client_id = client_id
+        self.service = service
+        self.workload = workload
+        self.rng = rng
+        self.poll_interval = poll_interval
+        self.retry_timeout = retry_timeout
+        self.think_time = think_time
+        self.stats = ClientStats()
+        self.seq = 0
+        self.gateway = rng.randint(0, service.n - 1)
+        self._current: Optional[Command] = None
+        self._shard: Optional[int] = None
+        self._issued_at = 0.0
+        self._last_submit = 0.0
+
+    # ------------------------------------------------------------------ lifecycle --
+    def start(self, delay: float = 0.0) -> None:
+        """Arm the first issue on the service's shared virtual clock."""
+        self.service.scheduler.schedule_after(delay, self._issue_next)
+
+    def _issue_next(self) -> None:
+        op, key, args = self.workload.next_operation(self.rng)
+        self.seq += 1
+        command = Command(
+            client_id=self.client_id, seq=self.seq, op=op, key=key, args=args
+        )
+        self._current = command
+        self._issued_at = self.service.now
+        self._last_submit = self.service.now
+        self._shard = self.service.submit(command, gateway=self.gateway)
+        self.service.scheduler.schedule_after(self.poll_interval, self._poll)
+
+    def _poll(self) -> None:
+        command = self._current
+        if command is None:
+            return
+        if self._completed(command):
+            self.stats.completed += 1
+            self.stats.latencies.append(self.service.now - self._issued_at)
+            self._current = None
+            self.service.scheduler.schedule_after(self.think_time, self._issue_next)
+            return
+        if self.service.now - self._last_submit >= self.retry_timeout:
+            # Retransmit the *same* (client_id, seq) command through a different
+            # gateway; the session table makes a double decision harmless.
+            self.stats.retries += 1
+            self.gateway = self.rng.randint(0, self.service.n - 1)
+            self.service.submit(command, gateway=self.gateway)
+            self._last_submit = self.service.now
+        self.service.scheduler.schedule_after(self.poll_interval, self._poll)
+
+    def _completed(self, command: Command) -> bool:
+        assert self._shard is not None
+        return any(
+            replica.command_applied(command.client_id, command.seq)
+            for replica in self.service.correct_replicas(self._shard)
+        )
+
+
+def start_clients(
+    service: ShardedService,
+    num_clients: int,
+    workload_factory: Callable[[int], Workload],
+    poll_interval: float = 1.0,
+    retry_timeout: float = 40.0,
+    think_time: float = 0.0,
+    stagger: float = 1.0,
+) -> List[ClosedLoopClient]:
+    """Create and start *num_clients* closed-loop clients with staggered arrivals."""
+    require_positive(num_clients, "num_clients")
+    clients: List[ClosedLoopClient] = []
+    for index in range(num_clients):
+        client = ClosedLoopClient(
+            client_id=f"client-{index}",
+            service=service,
+            workload=workload_factory(index),
+            rng=service.rng("client", index),
+            poll_interval=poll_interval,
+            retry_timeout=retry_timeout,
+            think_time=think_time,
+        )
+        client.start(delay=stagger * index / max(1, num_clients))
+        clients.append(client)
+    return clients

@@ -1,0 +1,83 @@
+"""One service replica: Omega + consensus + state machine in a single process.
+
+:class:`ServiceReplica` extends the Theorem-5 stack
+(:class:`~repro.consensus.stack.OmegaConsensusStack`) with a
+:class:`~repro.service.state_machine.StateMachine`: every value of the delivered
+log prefix is flattened (batches into commands) and applied, in log order, through
+the replicated log's ``on_deliver`` hook.  The class is runtime-agnostic like every
+other :class:`~repro.core.interfaces.Process` — the same object runs under the
+discrete-event simulator and under the asyncio runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Type
+
+from repro.consensus.commands import Command, flatten_value
+from repro.consensus.stack import OmegaConsensusStack
+from repro.core.config import OmegaConfig
+from repro.core.figure3 import Figure3Omega
+from repro.core.omega_base import RotatingStarOmegaBase
+from repro.service.state_machine import KeyValueStore, StateMachine
+
+
+class ServiceReplica(OmegaConsensusStack):
+    """A client-serving replica of one shard group."""
+
+    variant_name = "service-replica"
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        state_machine: Optional[StateMachine] = None,
+        omega_cls: Type[RotatingStarOmegaBase] = Figure3Omega,
+        omega_config: Optional[OmegaConfig] = None,
+        drive_period: float = 2.0,
+        retry_period: float = 10.0,
+        batch_size: int = 8,
+    ) -> None:
+        super().__init__(
+            pid=pid,
+            n=n,
+            t=t,
+            omega_cls=omega_cls,
+            omega_config=omega_config,
+            drive_period=drive_period,
+            retry_period=retry_period,
+            batch_size=batch_size,
+        )
+        self.state_machine = state_machine if state_machine is not None else KeyValueStore()
+        #: Commands applied to the state machine (includes absorbed duplicates).
+        self.commands_delivered = 0
+        self.log.on_deliver = self._apply_delivered
+
+    # ------------------------------------------------------------------ application --
+    def _apply_delivered(self, position: int, value: Any) -> None:
+        for command in flatten_value(value):
+            self.state_machine.apply(command)
+            self.commands_delivered += 1
+
+    # ------------------------------------------------------------------ client API --
+    def submit_command(self, command: Command) -> None:
+        """Submit a client command to this replica (it forwards to the leader)."""
+        if not isinstance(command, Command):
+            raise TypeError(f"expected a Command, got {command!r}")
+        self.submit(command)
+
+    def command_applied(self, client_id: str, seq: int) -> bool:
+        """True once the command identified by ``(client_id, seq)`` took effect here."""
+        machine = self.state_machine
+        if isinstance(machine, KeyValueStore):
+            return machine.is_applied(client_id, seq)
+        raise NotImplementedError(
+            "command_applied requires a session-tracking state machine"
+        )
+
+    # ------------------------------------------------------------------ reporting --
+    def decided_command_positions(self) -> int:
+        """Number of decided non-noop log positions (consensus instances spent)."""
+        from repro.consensus.replicated_log import NOOP
+
+        return sum(1 for value in self.log.decisions.values() if value != NOOP)

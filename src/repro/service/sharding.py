@@ -1,0 +1,282 @@
+"""Hash-partitioned sharding of the keyspace across independent consensus groups.
+
+A single replicated log serialises every command through one leader — throughput is
+bounded by one consensus pipeline.  :class:`ShardedService` scales out the paper's
+stack the standard way: the keyspace is hash-partitioned across ``S`` independent
+shard groups, each an autonomous ``AS_{n,t}`` system (its own Omega oracle, its own
+consensus instances, its own delay scenario and crash schedule), all multiplexed on
+**one** :class:`~repro.simulation.scheduler.EventScheduler` so a single virtual
+clock drives the whole deployment and cross-shard throughput is measured coherently.
+
+The :class:`ShardRouter` uses CRC-32 (stable across processes and platforms, unlike
+Python's randomised ``hash``) so that a key's home shard is reproducible for a
+given shard count.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.assumptions.base import Scenario
+from repro.assumptions.scenarios import IntermittentRotatingStarScenario
+from repro.consensus.commands import Command
+from repro.core.figure3 import Figure3Omega
+from repro.core.omega_base import RotatingStarOmegaBase
+from repro.service.replica import ServiceReplica
+from repro.service.state_machine import KeyValueStore, StateMachine
+from repro.simulation.crash import CrashSchedule
+from repro.simulation.scheduler import EventScheduler
+from repro.simulation.system import System, SystemConfig
+from repro.util.rng import RandomSource, derive_seed
+from repro.util.validation import require_positive
+
+
+class ShardRouter:
+    """Deterministic key -> shard mapping."""
+
+    def __init__(self, num_shards: int) -> None:
+        require_positive(num_shards, "num_shards")
+        self.num_shards = int(num_shards)
+
+    def shard_for(self, key: str) -> int:
+        """Return the shard owning *key*."""
+        return zlib.crc32(str(key).encode("utf-8")) % self.num_shards
+
+
+class ShardedService:
+    """``S`` Omega+consensus groups serving one hash-partitioned key-value store.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of independent consensus groups.
+    n, t:
+        Size and fault budget of **each** group (``t < n/2`` per group).
+    scenario_factory:
+        Callable ``shard -> Scenario`` building the behavioural assumption of each
+        group (defaults to an intermittent rotating star with a per-shard seed and
+        a rotating centre).
+    crash_schedule_factory:
+        Optional callable ``shard -> CrashSchedule`` injecting per-shard crashes.
+    batch_size:
+        Commands the shard leader packs into one consensus instance.
+    seed:
+        Master seed; every shard derives an independent stream from it.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        n: int,
+        t: int,
+        scenario_factory: Optional[Callable[[int], Scenario]] = None,
+        crash_schedule_factory: Optional[Callable[[int], CrashSchedule]] = None,
+        batch_size: int = 8,
+        drive_period: float = 2.0,
+        retry_period: float = 10.0,
+        seed: int = 0,
+        omega_cls: Type[RotatingStarOmegaBase] = Figure3Omega,
+        state_machine_factory: Callable[[], StateMachine] = KeyValueStore,
+    ) -> None:
+        require_positive(num_shards, "num_shards")
+        self.num_shards = int(num_shards)
+        self.n = n
+        self.t = t
+        self.batch_size = batch_size
+        self.seed = seed
+        self.router = ShardRouter(num_shards)
+        self.scheduler = EventScheduler()
+        self.systems: List[System] = []
+
+        if scenario_factory is None:
+            scenario_factory = self._default_scenario_factory()
+
+        for shard in range(self.num_shards):
+            scenario = scenario_factory(shard)
+            if (scenario.n, scenario.t) != (n, t):
+                raise ValueError(
+                    f"shard {shard} scenario was built for (n={scenario.n}, "
+                    f"t={scenario.t}), expected (n={n}, t={t})"
+                )
+            omega_config = scenario.recommended_omega_config()
+            crash_schedule = (
+                crash_schedule_factory(shard)
+                if crash_schedule_factory is not None
+                else CrashSchedule.none()
+            )
+
+            def factory(pid: int, _config=omega_config) -> ServiceReplica:
+                return ServiceReplica(
+                    pid=pid,
+                    n=n,
+                    t=t,
+                    state_machine=state_machine_factory(),
+                    omega_cls=omega_cls,
+                    omega_config=_config,
+                    drive_period=drive_period,
+                    retry_period=retry_period,
+                    batch_size=batch_size,
+                )
+
+            self.systems.append(
+                System(
+                    config=SystemConfig(n=n, t=t, seed=derive_seed(seed, "shard", shard)),
+                    process_factory=factory,
+                    delay_model=scenario.build_delay_model(),
+                    crash_schedule=crash_schedule,
+                    scheduler=self.scheduler,
+                )
+            )
+
+    def _default_scenario_factory(self) -> Callable[[int], Scenario]:
+        n, t, seed = self.n, self.t, self.seed
+
+        def factory(shard: int) -> Scenario:
+            return IntermittentRotatingStarScenario(
+                n=n,
+                t=t,
+                center=shard % n,
+                seed=derive_seed(seed, "scenario", shard),
+                max_gap=4,
+            )
+
+        return factory
+
+    # ------------------------------------------------------------------ execution --
+    @property
+    def now(self) -> float:
+        """Current virtual time of the shared clock."""
+        return self.scheduler.now
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Advance every shard to absolute virtual *time*."""
+        return self.scheduler.run_until(time, max_events=max_events)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Advance every shard by *duration* time units."""
+        return self.scheduler.run_until(self.now + duration, max_events=max_events)
+
+    # ------------------------------------------------------------------ client API --
+    def shard_for(self, key: str) -> int:
+        """Return the shard owning *key*."""
+        return self.router.shard_for(key)
+
+    def submit(self, command: Command, gateway: Optional[int] = None) -> int:
+        """Submit *command* to its home shard; return the shard index.
+
+        ``gateway`` selects the replica the command enters through (the client's
+        session affinity); a crashed or missing gateway falls back to the first
+        alive replica, modelling client fail-over.
+        """
+        shard = self.router.shard_for(command.key)
+        system = self.systems[shard]
+        shell = None
+        if gateway is not None and not system.shells[gateway].crashed:
+            shell = system.shells[gateway]
+        else:
+            alive = system.alive_shells()
+            if not alive:
+                raise RuntimeError(f"shard {shard} has no alive replica")
+            shell = alive[0]
+        shell.algorithm.submit_command(command)
+        return shard
+
+    # ------------------------------------------------------------------ accessors --
+    def replicas(self, shard: int) -> List[ServiceReplica]:
+        """Return every replica of *shard* (including crashed ones)."""
+        return [shell.algorithm for shell in self.systems[shard].shells]
+
+    def correct_replicas(self, shard: int) -> List[ServiceReplica]:
+        """Return the replicas of *shard* that never crash under its schedule."""
+        return [shell.algorithm for shell in self.systems[shard].correct_shells()]
+
+    def reference_replica(self, shard: int) -> ServiceReplica:
+        """A correct replica used for shard-level reporting."""
+        return self.correct_replicas(shard)[0]
+
+    def leaders(self) -> Dict[int, Optional[int]]:
+        """shard -> leader agreed by the shard's alive replicas (None = split)."""
+        return {
+            shard: system.agreed_leader()
+            for shard, system in enumerate(self.systems)
+        }
+
+    def state_digests(self, shard: int, correct_only: bool = True) -> List[str]:
+        """Digests of the shard's replicas (crashed ones excluded by default)."""
+        replicas = (
+            self.correct_replicas(shard) if correct_only else self.replicas(shard)
+        )
+        return [replica.state_machine.digest() for replica in replicas]
+
+    def is_consistent(self) -> bool:
+        """True when, per shard, every correct replica has the identical state."""
+        return all(
+            len(set(self.state_digests(shard))) == 1
+            for shard in range(self.num_shards)
+        )
+
+    def applied_commands(self, shard: int) -> int:
+        """Effective (duplicate-free) commands applied at the reference replica."""
+        machine = self.reference_replica(shard).state_machine
+        if isinstance(machine, KeyValueStore):
+            return machine.applied
+        raise NotImplementedError("applied_commands requires a KeyValueStore")
+
+    def decided_instances(self, shard: int) -> int:
+        """Decided non-noop consensus instances at the reference replica."""
+        return self.reference_replica(shard).decided_command_positions()
+
+    def total_applied(self) -> int:
+        """Effective commands applied across all shards."""
+        return sum(self.applied_commands(shard) for shard in range(self.num_shards))
+
+    def total_instances(self) -> int:
+        """Decided non-noop consensus instances across all shards."""
+        return sum(self.decided_instances(shard) for shard in range(self.num_shards))
+
+    def rng(self, *labels: object) -> RandomSource:
+        """Derive a deterministic random source for workload machinery."""
+        return RandomSource(derive_seed(self.seed, "service", *labels))
+
+
+def build_sharded_service(
+    num_shards: int,
+    n: int,
+    t: int,
+    seed: int = 0,
+    batch_size: int = 8,
+    crashes_per_shard: int = 0,
+    crash_horizon: float = 100.0,
+    **kwargs,
+) -> ShardedService:
+    """Build a :class:`ShardedService` with the default star scenarios.
+
+    ``crashes_per_shard`` > 0 injects that many random crashes (at most ``t``) per
+    shard at uniform times in ``[0, crash_horizon]``, protecting each shard's star
+    centre so the liveness assumption keeps holding.  An explicit
+    ``crash_schedule_factory`` keyword overrides the random schedules.
+    """
+    service_seed = seed
+
+    def crash_factory(shard: int) -> CrashSchedule:
+        if crashes_per_shard <= 0:
+            return CrashSchedule.none()
+        return CrashSchedule.random(
+            n=n,
+            t=t,
+            rng=RandomSource(derive_seed(service_seed, "crash", shard)),
+            horizon=crash_horizon,
+            count=min(crashes_per_shard, t),
+            protect=[shard % n],
+        )
+
+    kwargs.setdefault("crash_schedule_factory", crash_factory)
+    return ShardedService(
+        num_shards=num_shards,
+        n=n,
+        t=t,
+        batch_size=batch_size,
+        seed=seed,
+        **kwargs,
+    )

@@ -1,0 +1,177 @@
+"""Replicated state machines applied from the delivered log prefix.
+
+The consensus layer totally orders opaque values; a :class:`StateMachine` gives
+those values meaning.  Because every correct replica applies the same command
+sequence (the delivered prefix of :class:`~repro.consensus.replicated_log.
+ReplicatedLog`) to a deterministic machine, all replicas traverse identical
+states — the classic replicated-state-machine reading of Theorem 5.
+
+:class:`KeyValueStore` is the machine served by :mod:`repro.service`: a string-keyed
+store with ``put``/``get``/``delete``/``cas``/``incr`` and **exactly-once**
+application.  The log may legitimately decide the same command at two positions
+(a client retried through a second gateway, or two leaders proposed overlapping
+batches); the store tracks, per client session, the highest applied sequence
+number and the cached result, so re-applications are no-ops that return the
+original result.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import hashlib
+from typing import Any, Dict, Set, Tuple
+
+from repro.consensus.commands import Command
+
+#: Sentinel distinguishing "key absent" from "value is None" in ``delete``.
+_MISSING = object()
+
+
+@dataclasses.dataclass
+class ClientSessionState:
+    """Exactly-once bookkeeping for one client at one shard.
+
+    A shard sees an arbitrary *subset* of a client's sequence numbers (the other
+    commands hashed to other shards) in decided-log order, which need not be seq
+    order.  Deduplication therefore tracks the applied seq *set*, not a high-water
+    mark; ``last_seq``/``last_result`` cache the most recently applied command so
+    a retry of it can be answered with the original result.
+    """
+
+    applied_seqs: Set[int] = dataclasses.field(default_factory=set)
+    last_seq: int = -1
+    last_result: Any = None
+
+
+class StateMachine(abc.ABC):
+    """Deterministic machine fed by the totally ordered command log."""
+
+    @abc.abstractmethod
+    def apply(self, command: Command) -> Any:
+        """Apply one command and return its result (idempotent per identity)."""
+
+    @abc.abstractmethod
+    def digest(self) -> str:
+        """Return a stable fingerprint of the full state (replica comparison)."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Dict[str, Any]:
+        """Return a copy of the materialised state."""
+
+
+class KeyValueStore(StateMachine):
+    """String-keyed store with exactly-once command application.
+
+    Attributes
+    ----------
+    applied:
+        Number of commands that took effect (duplicates excluded).
+    duplicates_skipped:
+        Number of re-applications absorbed by the session table.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self._sessions: Dict[str, ClientSessionState] = {}
+        self.applied = 0
+        self.duplicates_skipped = 0
+
+    # ------------------------------------------------------------------ application --
+    def apply(self, command: Command) -> Any:
+        if not isinstance(command, Command):
+            raise TypeError(
+                f"KeyValueStore can only apply Command values, got {command!r}"
+            )
+        session = self._sessions.get(command.client_id)
+        if session is None:
+            session = ClientSessionState()
+            self._sessions[command.client_id] = session
+        if command.seq in session.applied_seqs:
+            # Exactly-once: this (client_id, seq) already took effect.  Return the
+            # cached result when it is the latest command, nothing otherwise.
+            self.duplicates_skipped += 1
+            return session.last_result if command.seq == session.last_seq else None
+        result = self._execute(command)
+        session.applied_seqs.add(command.seq)
+        session.last_seq = command.seq
+        session.last_result = result
+        self.applied += 1
+        return result
+
+    def _execute(self, command: Command) -> Any:
+        op, key, args = command.op, command.key, command.args
+        if op == "put":
+            self._data[key] = args[0]
+            return "OK"
+        if op == "get":
+            return self._data.get(key)
+        if op == "delete":
+            return self._data.pop(key, _MISSING) is not _MISSING
+        if op == "cas":
+            expected, new = args
+            if self._data.get(key) == expected:
+                self._data[key] = new
+                return True
+            return False
+        if op == "incr":
+            delta = args[0] if args else 1
+            current = self._data.get(key, 0)
+            # A non-integer value (e.g. written by a put) deterministically resets
+            # the counter: apply() must never raise, or replicas could diverge.
+            base = current if isinstance(current, int) and not isinstance(current, bool) else 0
+            value = base + delta
+            self._data[key] = value
+            return value
+        raise ValueError(f"unknown operation {op!r}")
+
+    # ------------------------------------------------------------------ queries --
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read *key* locally (no ordering; use a ``get`` command for linearizable reads)."""
+        return self._data.get(key, default)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def is_applied(self, client_id: str, seq: int) -> bool:
+        """True once the command identified by ``(client_id, seq)`` took effect."""
+        session = self._sessions.get(client_id)
+        return session is not None and seq in session.applied_seqs
+
+    def last_seq(self, client_id: str) -> int:
+        """Most recently applied sequence number of *client_id* (-1 when none)."""
+        session = self._sessions.get(client_id)
+        return session.last_seq if session is not None else -1
+
+    def last_result(self, client_id: str) -> Any:
+        """Result of the most recently applied command of *client_id*."""
+        session = self._sessions.get(client_id)
+        return session.last_result if session is not None else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return dict(self._data)
+
+    def sessions(self) -> Dict[str, Tuple[int, ...]]:
+        """Return client_id -> sorted applied sequence numbers."""
+        return {
+            client: tuple(sorted(session.applied_seqs))
+            for client, session in self._sessions.items()
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the sorted data items and per-client applied-seq sets.
+
+        Two replicas that applied the same command prefix have equal digests; the
+        session table is included so that agreement covers exactly-once bookkeeping,
+        not just the materialised keys.
+        """
+        payload = repr(
+            (sorted(self._data.items()), sorted(self.sessions().items()))
+        ).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KeyValueStore(keys={len(self._data)}, applied={self.applied}, "
+            f"duplicates={self.duplicates_skipped})"
+        )

@@ -67,13 +67,17 @@ class System:
         delay_model: DelayModel,
         crash_schedule: Optional[CrashSchedule] = None,
         tracer: Optional[object] = None,
+        scheduler: Optional[EventScheduler] = None,
     ) -> None:
         self.config = config
         self.crash_schedule = crash_schedule or CrashSchedule.none()
         self.crash_schedule.validate(config.n, config.t)
         self.tracer = tracer
 
-        self.scheduler = EventScheduler()
+        # An externally supplied scheduler lets several independent systems (e.g.
+        # the shard groups of a :class:`repro.service.sharding.ShardedService`)
+        # share one virtual clock; each system still owns its network and shells.
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
         self.network = Network(self.scheduler, delay_model, tracer=tracer)
         self._master_rng = RandomSource(config.seed, label="system")
 

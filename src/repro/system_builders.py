@@ -17,6 +17,8 @@ from repro.core.omega_base import RotatingStarOmegaBase
 from repro.simulation.crash import CrashSchedule
 from repro.simulation.system import System, SystemConfig
 
+__all__ = ["build_consensus_system", "build_omega_system"]
+
 
 def build_omega_system(
     n: int,
@@ -74,12 +76,15 @@ def build_consensus_system(
     crash_schedule: Optional[CrashSchedule] = None,
     seed: int = 0,
     drive_period: float = 2.0,
+    batch_size: int = 1,
     tracer: Optional[object] = None,
 ) -> System:
     """Build a system in which every process runs the Omega + replicated-log stack.
 
     Realises Theorem 5: with ``t < n/2`` and a scenario satisfying the intermittent
     rotating t-star, every submitted command is eventually decided and delivered.
+    ``batch_size`` > 1 lets the leader pack several commands per consensus instance
+    (see :mod:`repro.consensus.commands`).
     """
     if (n, t) != (scenario.n, scenario.t):
         raise ValueError(
@@ -96,6 +101,7 @@ def build_consensus_system(
             omega_cls=omega_cls,
             omega_config=config,
             drive_period=drive_period,
+            batch_size=batch_size,
         )
 
     return System(

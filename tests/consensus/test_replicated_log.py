@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.consensus.messages import Decide, Forward, Prepare
+from repro.consensus.commands import Batch, Command
+from repro.consensus.messages import AcceptRequest, Decide, Forward, Prepare
 from repro.consensus.replicated_log import NOOP, ReplicatedLog
 from repro.testing import FakeEnvironment
 
@@ -144,3 +145,149 @@ class TestDecisionsAndDelivery:
         log, _, env = make()
         with pytest.raises(ValueError):
             log.on_timer(env, env.set_timer(0.0, "bogus"))
+
+
+class TestCommandIdentityDedup:
+    """Regression tests for the duplicate-command hazard.
+
+    The seed log deduplicated by value equality, so two genuinely distinct but
+    equal commands (two ``+1`` increments submitted as equal payloads) collapsed
+    into one.  Command envelopes carry ``(client_id, seq)``, making equality an
+    identity check: distinct increments survive, retransmissions are dropped.
+    """
+
+    def test_equal_raw_values_are_still_collapsed(self):
+        # The legacy hazard, kept for documentation: raw equal payloads merge.
+        log, _, _ = make()
+        log.submit("+1")
+        log.submit("+1")
+        assert log.pending == ["+1"]
+
+    def test_distinct_commands_with_equal_effect_are_both_kept(self):
+        log, _, _ = make()
+        first = Command.incr("alice", 1, "counter")
+        second = Command.incr("alice", 2, "counter")
+        log.submit(first)
+        log.submit(second)
+        assert log.pending == [first, second]
+
+    def test_retransmission_of_same_command_is_dropped(self):
+        log, _, _ = make()
+        command = Command.incr("alice", 1, "counter")
+        log.submit(command)
+        log.submit(Command.incr("alice", 1, "counter"))
+        assert log.pending == [command]
+
+    def test_decided_command_not_resubmittable(self):
+        log, _, env = make(pid=1)
+        command = Command.incr("alice", 1, "counter")
+        log.on_message(env, 0, Decide(instance=0, value=command))
+        log.submit(Command.incr("alice", 1, "counter"))
+        assert log.pending == []
+
+    def test_command_inside_decided_batch_removed_from_queues(self):
+        log, _, env = make(pid=1)
+        a = Command.incr("alice", 1, "counter")
+        b = Command.incr("bob", 1, "counter")
+        c = Command.incr("carol", 1, "counter")
+        log.submit(a)
+        log.on_message(env, 2, Forward(value=b))
+        log.on_message(env, 0, Decide(instance=0, value=Batch(commands=(a, b))))
+        assert log.pending == []
+        assert log.forwarded == []
+        log.submit(c)
+        assert log.pending == [c]
+
+
+class TestBatching:
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make(batch_size=0)
+
+    def test_leader_packs_pending_commands_into_one_batch(self):
+        log, _, env = make(pid=0, leader=0, batch_size=4)
+        commands = [Command.put("c", seq, f"k{seq}", seq) for seq in range(1, 7)]
+        for command in commands:
+            log.submit(command)
+        env.advance(2.0)
+        env.fire_due_timers(log)
+        accepts = env.messages_of_type(AcceptRequest)
+        prepares = env.messages_of_type(Prepare)
+        assert prepares and prepares[0].instance == 0
+        # Feed promises back so phase 2 reveals the proposed value.
+        from repro.consensus.messages import Promise
+
+        for sender in range(3):
+            log.on_message(
+                env,
+                sender,
+                Promise(instance=0, ballot=prepares[0].ballot, accepted_ballot=-1,
+                        accepted_value=None),
+            )
+        accepts = env.messages_of_type(AcceptRequest)
+        assert accepts, "quorum of promises must trigger phase 2"
+        value = accepts[0].value
+        assert isinstance(value, Batch)
+        assert value.commands == tuple(commands[:4])
+
+    def test_single_pending_command_not_wrapped(self):
+        log, _, env = make(pid=0, leader=0, batch_size=4)
+        command = Command.put("c", 1, "k", "v")
+        log.submit(command)
+        env.advance(2.0)
+        env.fire_due_timers(log)
+        from repro.consensus.messages import Promise
+
+        prepare = env.messages_of_type(Prepare)[0]
+        for sender in range(3):
+            log.on_message(
+                env,
+                sender,
+                Promise(instance=0, ballot=prepare.ballot, accepted_ballot=-1,
+                        accepted_value=None),
+            )
+        value = env.messages_of_type(AcceptRequest)[0].value
+        assert value == command
+
+    def test_delivered_commands_flattens_batches(self):
+        log, _, env = make(pid=1)
+        a = Command.put("c", 1, "x", 1)
+        b = Command.put("c", 2, "y", 2)
+        c = Command.put("d", 1, "z", 3)
+        log.on_message(env, 0, Decide(instance=0, value=Batch(commands=(a, b))))
+        log.on_message(env, 0, Decide(instance=1, value=c))
+        assert log.delivered() == [Batch(commands=(a, b)), c]
+        assert log.delivered_commands() == [a, b, c]
+
+
+class TestDeliveryCallback:
+    def test_callback_fires_in_contiguous_prefix_order(self):
+        log, _, env = make(pid=1)
+        seen = []
+        log.on_deliver = lambda position, value: seen.append((position, value))
+        log.on_message(env, 0, Decide(instance=2, value="c"))
+        assert seen == []  # hole at 0: nothing contiguous yet
+        log.on_message(env, 0, Decide(instance=0, value="a"))
+        assert seen == [(0, "a")]
+        log.on_message(env, 0, Decide(instance=1, value=NOOP))
+        # The noop filler closes the hole silently and releases position 2.
+        assert seen == [(0, "a"), (2, "c")]
+        assert log.delivered() == ["a", "c"]
+
+
+class TestHotPathCursors:
+    def test_next_position_tracks_first_hole(self):
+        log, _, env = make(pid=1)
+        assert log._next_position() == 0
+        log.on_message(env, 0, Decide(instance=0, value="a"))
+        log.on_message(env, 0, Decide(instance=1, value="b"))
+        log.on_message(env, 0, Decide(instance=5, value="f"))
+        assert log._next_position() == 2
+
+    def test_delivered_is_incremental_not_a_rescan(self):
+        log, _, env = make(pid=1)
+        for position in range(50):
+            log.on_message(env, 0, Decide(instance=position, value=f"v{position}"))
+        assert log.delivered() == [f"v{position}" for position in range(50)]
+        # The cache is the source: mutating decisions out of band has no effect.
+        assert len(log._delivered) == 50

@@ -1,0 +1,67 @@
+"""Unit tests for command envelopes, batches and the shard router."""
+
+import pytest
+
+from repro.consensus.commands import Batch, Command, flatten_value
+from repro.service.sharding import ShardRouter
+
+
+class TestCommand:
+    def test_constructors_carry_identity_and_payload(self):
+        put = Command.put("alice", 3, "k", "v")
+        assert (put.client_id, put.seq, put.op, put.key, put.args) == (
+            "alice", 3, "put", "k", ("v",)
+        )
+        assert Command.get("a", 1, "k").op == "get"
+        assert Command.delete("a", 1, "k").op == "delete"
+        assert Command.cas("a", 1, "k", "old", "new").args == ("old", "new")
+        assert Command.incr("a", 1, "k", 5).args == (5,)
+
+    def test_equality_is_identity(self):
+        first = Command.incr("alice", 1, "counter")
+        retransmission = Command.incr("alice", 1, "counter")
+        distinct = Command.incr("alice", 2, "counter")
+        assert first == retransmission
+        assert first != distinct
+        assert len({first, retransmission, distinct}) == 2
+
+    def test_commands_are_hashable_and_frozen(self):
+        command = Command.put("a", 1, "k", "v")
+        assert hash(command) == hash(Command.put("a", 1, "k", "v"))
+        with pytest.raises(Exception):
+            command.seq = 2
+
+
+class TestBatch:
+    def test_flatten_value_unwraps_batches_only(self):
+        a = Command.put("a", 1, "k", 1)
+        b = Command.put("a", 2, "k", 2)
+        assert flatten_value(Batch(commands=(a, b))) == (a, b)
+        assert flatten_value(a) == (a,)
+        assert flatten_value("legacy") == ("legacy",)
+
+    def test_len(self):
+        assert len(Batch(commands=(1, 2, 3))) == 3
+
+
+class TestShardRouter:
+    def test_mapping_is_deterministic_and_in_range(self):
+        router = ShardRouter(num_shards=4)
+        for index in range(100):
+            key = f"key-{index}"
+            shard = router.shard_for(key)
+            assert 0 <= shard < 4
+            assert router.shard_for(key) == shard
+
+    def test_every_shard_receives_keys(self):
+        router = ShardRouter(num_shards=4)
+        hit = {router.shard_for(f"key-{index}") for index in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_single_shard_maps_everything_to_zero(self):
+        router = ShardRouter(num_shards=1)
+        assert {router.shard_for(f"k{i}") for i in range(20)} == {0}
+
+    def test_num_shards_validated(self):
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=0)
