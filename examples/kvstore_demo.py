@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Sharded key-value store served by the Omega/consensus stack.
+
+Three shards (each an independent 3-process Omega + consensus group, all on one
+virtual clock) serve 100 closed-loop clients issuing a zipfian read/write mix.
+One replica per shard crashes along the way; the intermittent rotating t-star
+assumption keeps holding per shard, so every shard keeps committing, clients
+fail over and retransmit, and the exactly-once session table absorbs the
+duplicates.  At the end every replica of every shard holds the identical store.
+
+Run with:  python examples/kvstore_demo.py
+"""
+
+from repro.analysis import summarize_service
+from repro.service import build_sharded_service, start_clients, zipfian_workload
+from repro.util.tables import format_table
+
+SHARDS = 3
+N, T = 3, 1
+CLIENTS = 100
+HORIZON = 400.0
+
+
+def main() -> None:
+    service = build_sharded_service(
+        num_shards=SHARDS,
+        n=N,
+        t=T,
+        seed=42,
+        batch_size=8,
+        crashes_per_shard=1,
+        crash_horizon=120.0,
+    )
+    clients = start_clients(
+        service,
+        num_clients=CLIENTS,
+        workload_factory=lambda i: zipfian_workload(num_keys=128, read_fraction=0.5),
+    )
+    print(f"{SHARDS} shards x {N} replicas, {CLIENTS} zipfian closed-loop clients")
+    print()
+
+    for checkpoint in (100.0, 200.0, 300.0, HORIZON):
+        service.run_until(checkpoint)
+        committed = service.total_applied()
+        print(
+            f"t={checkpoint:>5}: leaders per shard {service.leaders()}, "
+            f"{committed} commands committed"
+        )
+
+    print()
+    summary = summarize_service(service, clients, duration=HORIZON)
+    rows = [
+        [
+            report.shard,
+            report.leader,
+            report.applied,
+            report.instances,
+            round(report.commands_per_instance, 2),
+            "yes" if report.consistent else "NO (BUG!)",
+        ]
+        for report in summary.per_shard
+    ]
+    print(
+        format_table(
+            ["shard", "leader", "applied", "instances", "cmds/inst", "consistent"],
+            rows,
+            title="Per-shard state after the run",
+        )
+    )
+    print()
+    print(
+        f"throughput: {summary.throughput:.2f} commands/time-unit, "
+        f"latency p50={summary.latency.p50:.1f} p95={summary.latency.p95:.1f}, "
+        f"{summary.retries} client retransmissions (all deduplicated)"
+    )
+    print(f"service consistent across every replica: {service.is_consistent()}")
+
+
+if __name__ == "__main__":
+    main()
