@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Wall-clock throughput benchmark of the simulation substrate.
+
+Unlike the E1-E10 benchmarks (which regenerate the paper's experiment tables in
+*virtual* time), this benchmark measures how fast the substrate itself runs in
+*wall-clock* time: scheduler events per second and simulated messages per second.
+It is the perf trajectory of the repository — every run writes ``BENCH_PERF.json``
+at the repo root so successive PRs can show before/after numbers.
+
+Two workloads are measured:
+
+* ``omega_broadcast`` — an n-process Figure 3 Omega system under uniform delays.
+  Every process broadcasts ALIVE every period and SUSPICION every round, so the
+  run is dominated by the n² fan-out the native ``Network.broadcast`` optimises.
+* ``sharded_service`` — an E10-style sharded key-value service with closed-loop
+  clients, exercising the composite-process (Wrapped) hot path end to end.
+
+Each workload also reports a deterministic *fingerprint* (a SHA-256 over the
+leader histories / final replica state), so the JSON doubles as evidence that a
+perf refactor kept experiment outputs byte-identical: compare ``fingerprint``
+against the baseline's.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [--output BENCH_PERF.json]
+
+    # refresh the committed reference numbers (done once per perf PR):
+    PYTHONPATH=src python benchmarks/bench_perf.py --write-baseline
+
+    # CI smoke: fail when the substrate regresses below a conservative floor
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick --min-events-per-sec 20000
+
+When ``benchmarks/perf_baseline.json`` exists its numbers are embedded in the
+output under ``"baseline"`` together with per-workload ``"speedup"`` factors
+(current events/sec divided by baseline events/sec).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.core.figure3 import Figure3Omega
+from repro.service import build_sharded_service, start_clients, zipfian_workload
+from repro.simulation.delays import UniformDelay
+from repro.simulation.system import System, SystemConfig
+from repro.util.rng import RandomSource
+
+BASELINE_PATH = _REPO_ROOT / "benchmarks" / "perf_baseline.json"
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_PERF.json"
+
+
+def _fingerprint(payload: object) -> str:
+    """Deterministic digest of a JSON-serialisable result structure."""
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def bench_omega_broadcast(quick: bool) -> dict:
+    """n-process Figure 3 run: the ALIVE/SUSPICION n² broadcast hot path."""
+    n = 12 if quick else 25
+    t = (n - 1) // 3
+    horizon = 150.0 if quick else 400.0
+    seed = 42
+
+    delay_model = UniformDelay(0.5, 2.0, RandomSource(seed, label="perf-delay"))
+    system = System(
+        SystemConfig(n=n, t=t, seed=seed),
+        lambda pid: Figure3Omega(pid=pid, n=n, t=t),
+        delay_model,
+    )
+    start = time.perf_counter()
+    system.run_until(horizon)
+    wall = time.perf_counter() - start
+
+    events = system.scheduler.executed
+    messages = system.stats.total_sent
+    fingerprint = _fingerprint(
+        {
+            "leader_histories": {
+                shell.pid: shell.algorithm.leader_history for shell in system.shells
+            },
+            "sent_by_tag": dict(system.stats.sent_by_tag),
+            "total_delivered": system.stats.total_delivered,
+        }
+    )
+    return {
+        "n": n,
+        "t": t,
+        "horizon": horizon,
+        "seed": seed,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall else 0,
+        "messages": messages,
+        "messages_per_sec": round(messages / wall) if wall else 0,
+        "fingerprint": fingerprint,
+    }
+
+
+def bench_sharded_service(quick: bool) -> dict:
+    """E10-style run: S consensus groups + closed-loop clients on one clock."""
+    num_shards = 2 if quick else 4
+    num_clients = 12 if quick else 48
+    horizon = 120.0 if quick else 300.0
+    seed = 1100 + num_shards
+
+    service = build_sharded_service(
+        num_shards=num_shards, n=3, t=1, seed=seed, batch_size=8
+    )
+    clients = start_clients(
+        service,
+        num_clients=num_clients,
+        workload_factory=lambda i: zipfian_workload(num_keys=64),
+    )
+    start = time.perf_counter()
+    service.run_until(horizon)
+    wall = time.perf_counter() - start
+
+    events = service.scheduler.executed
+    messages = sum(system.stats.total_sent for system in service.systems)
+    committed = sum(client.stats.completed for client in clients)
+    fingerprint = _fingerprint(
+        {
+            "digests": {
+                shard: service.state_digests(shard)
+                for shard in range(service.num_shards)
+            },
+            "applied": [
+                service.applied_commands(shard)
+                for shard in range(service.num_shards)
+            ],
+            "committed": committed,
+            "consistent": service.is_consistent(),
+        }
+    )
+    return {
+        "shards": num_shards,
+        "clients": num_clients,
+        "horizon": horizon,
+        "seed": seed,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall else 0,
+        "messages": messages,
+        "messages_per_sec": round(messages / wall) if wall else 0,
+        "committed_commands": committed,
+        "consistent": service.is_consistent(),
+        "fingerprint": fingerprint,
+    }
+
+
+def run_benchmarks(quick: bool) -> dict:
+    return {
+        "omega_broadcast": bench_omega_broadcast(quick),
+        "sharded_service": bench_sharded_service(quick),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller systems / shorter horizons (CI smoke)"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="where to write the JSON report"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"also refresh the committed reference numbers at {BASELINE_PATH}",
+    )
+    parser.add_argument(
+        "--min-events-per-sec",
+        type=float,
+        default=None,
+        help="exit non-zero when the omega_broadcast benchmark runs slower than this",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.quick)
+    report = {
+        "schema": 1,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": results,
+    }
+
+    if BASELINE_PATH.exists() and not args.write_baseline:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        report["baseline"] = baseline
+        speedups = {}
+        fingerprints_match = {}
+        # Speedups and fingerprints are only meaningful between runs of the
+        # same shape (a --quick run uses smaller systems and horizons than a
+        # full baseline, so dividing their events/sec would be noise).
+        same_shape = baseline.get("quick") == args.quick
+        for name, current in results.items():
+            ref = baseline.get("benchmarks", {}).get(name)
+            if not ref or not same_shape:
+                continue
+            if ref.get("events_per_sec"):
+                speedups[name] = round(
+                    current["events_per_sec"] / ref["events_per_sec"], 2
+                )
+            fingerprints_match[name] = current["fingerprint"] == ref["fingerprint"]
+        report["speedup"] = speedups
+        report["fingerprints_match_baseline"] = fingerprints_match
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    if args.write_baseline:
+        baseline = {
+            "schema": 1,
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "benchmarks": results,
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    print(json.dumps(report, indent=2))
+
+    floor = args.min_events_per_sec
+    if floor is not None:
+        measured = results["omega_broadcast"]["events_per_sec"]
+        if measured < floor:
+            print(
+                f"PERF REGRESSION: omega_broadcast ran at {measured} events/sec, "
+                f"below the floor of {floor}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,9 +7,10 @@ both protocols share the process's links and timers.
 
 :class:`CompositeProcess` realises that sharing: it owns a set of named child
 processes ("channels"), wraps every outgoing message in a
-:class:`~repro.core.messages.Wrapped` envelope carrying the channel name, prefixes
-every timer name with the channel name, and routes incoming events back to the right
-child.  Children are completely unaware of the composition — they see an ordinary
+:class:`~repro.core.messages.Wrapped` envelope carrying the channel name (one shared
+envelope per broadcast — messages are immutable), prefixes every timer name with the
+channel name, and routes incoming events back to the right child.  Children are
+completely unaware of the composition — they see an ordinary
 :class:`~repro.core.interfaces.Environment`.
 """
 
@@ -49,6 +50,18 @@ class _ChannelEnvironment(Environment):
 
     def send(self, dest: int, message: Message) -> None:
         self._outer.send(dest, Wrapped(channel=self._channel, inner=message))
+
+    def broadcast(self, message: Message, include_self: bool = False) -> None:
+        """Wrap *message* once and fan it out through the outer environment.
+
+        The base-class loop would allocate one :class:`~repro.core.messages.Wrapped`
+        envelope per destination; messages are immutable, so a single envelope can
+        be shared by the whole broadcast, and the outer environment (e.g. the
+        simulator shell) may itself use a native network fan-out.
+        """
+        self._outer.broadcast(
+            Wrapped(channel=self._channel, inner=message), include_self
+        )
 
     def set_timer(self, delay: float, name: str, payload: Any = None) -> TimerHandle:
         return self._outer.set_timer(

@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 import itertools
+import sys
 from typing import Any, Optional, Sequence
 
 from repro.util.rng import RandomSource
@@ -36,8 +37,19 @@ class Message:
 
     @property
     def tag(self) -> str:
-        """A short tag naming the message type (used for accounting and tracing)."""
-        return type(self).__name__.upper()
+        """A short tag naming the message type (used for accounting and tracing).
+
+        The tag is derived from the class name once, interned, and cached on the
+        class: accounting code compares and hashes tags on every simulated
+        message, so handing out the same string object every time keeps those
+        dict operations at pointer speed.
+        """
+        cls = type(self)
+        tag = cls.__dict__.get("_tag_cache")
+        if tag is None:
+            tag = sys.intern(cls.__name__.upper())
+            cls._tag_cache = tag
+        return tag
 
 
 _timer_ids = itertools.count(1)
@@ -110,7 +122,14 @@ class Environment(abc.ABC):
         """Send *message* to every process (optionally including the sender).
 
         The default implementation is a loop of point-to-point sends, matching the
-        paper's ``for each j != i do send ... to p_j``.
+        paper's ``for each j != i do send ... to p_j``.  Runtimes may override it
+        with a semantically identical native fan-out — the simulator's
+        :class:`~repro.simulation.process.SimProcessShell` forwards the whole
+        fan-out to :meth:`repro.simulation.network.Network.broadcast`, and the
+        composition layer wraps the message once per broadcast instead of once
+        per destination.  Destination order (ascending process id) and the
+        one-delay-decision-per-destination contract are part of the semantics;
+        overrides must preserve both so executions stay deterministic.
         """
         for dest in self.process_ids:
             if dest == self.pid and not include_self:

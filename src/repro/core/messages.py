@@ -36,9 +36,9 @@ class Alive(Message):
     rn: int
     susp_level: Tuple[Tuple[int, int], ...]
 
-    @property
-    def tag(self) -> str:
-        return "ALIVE"
+    # A class attribute shadows the base-class ``tag`` property: the hot
+    # accounting path gets the interned constant without a property call.
+    tag = "ALIVE"
 
     @staticmethod
     def make(rn: int, susp_level: Mapping[int, int]) -> "Alive":
@@ -65,9 +65,7 @@ class Suspicion(Message):
     rn: int
     suspects: FrozenSet[int]
 
-    @property
-    def tag(self) -> str:
-        return "SUSPICION"
+    tag = "SUSPICION"
 
     @staticmethod
     def make(rn: int, suspects: Iterable[int]) -> "Suspicion":

@@ -156,7 +156,9 @@ class RotatingStarOmegaBase(Process, LeaderOracle):
 
     # ------------------------------------------------------------------ lines 4-7 --
     def _on_alive_message(self, env: Environment, sender: int, message: Alive) -> None:
-        self.susp_level.merge(message.susp_level_dict())
+        # merge_items consumes the message's snapshot tuple directly (no dict
+        # materialised per delivery; one ALIVE is delivered to n-1 processes).
+        self.susp_level.merge_items(message.susp_level)
         if message.rn >= self.receiving_round:
             self.records.add_reception(message.rn, sender)
         self._record_leader(env)

@@ -34,6 +34,12 @@ class SuspicionLevels:
             raise ValueError("SuspicionLevels requires at least one process id")
         #: Highest value ever stored, kept for the boundedness audit.
         self.max_ever: int = 0
+        # Cached ``least_suspected`` result.  ``leader()`` is queried on every
+        # delivered message, so the lexicographic minimum is recomputed only when
+        # it can actually change: levels never decrease, hence an increase of a
+        # *non*-leader entry leaves the minimum untouched and only an increase of
+        # the cached leader's own entry invalidates the cache.
+        self._leader_cache: Optional[int] = None
 
     def __getitem__(self, pid: int) -> int:
         return self._levels[pid]
@@ -54,15 +60,27 @@ class SuspicionLevels:
 
     def merge(self, other: Mapping[int, int]) -> None:
         """Element-wise maximum with *other* (line 5: gossip absorption)."""
-        for pid, level in other.items():
-            if pid not in self._levels:
+        self.merge_items(other.items())
+
+    def merge_items(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Like :meth:`merge` but over ``(pid, level)`` pairs.
+
+        ALIVE messages carry their snapshot as a tuple of pairs; merging it
+        directly avoids materialising a dictionary per delivered message.
+        """
+        levels = self._levels
+        for pid, level in pairs:
+            current = levels.get(pid)
+            if current is None:
                 # Unknown ids can only come from a mis-configured system; the paper's
                 # model has a fixed, known membership, so reject them loudly.
                 raise KeyError(f"unknown process id {pid} in gossiped susp_level")
-            if level > self._levels[pid]:
-                self._levels[pid] = level
+            if level > current:
+                levels[pid] = level
                 if level > self.max_ever:
                     self.max_ever = level
+                if pid == self._leader_cache:
+                    self._leader_cache = None
 
     def increase(self, pid: int) -> int:
         """Increment the entry of *pid* (line 17) and return the new value."""
@@ -70,6 +88,8 @@ class SuspicionLevels:
         self._levels[pid] = value
         if value > self.max_ever:
             self.max_ever = value
+        if pid == self._leader_cache:
+            self._leader_cache = None
         return value
 
     def minimum(self) -> int:
@@ -85,8 +105,17 @@ class SuspicionLevels:
         return self.maximum() - self.minimum()
 
     def least_suspected(self) -> int:
-        """Return the id elected by lines 19-21: lexicographic min of (level, id)."""
-        return min(self._levels, key=lambda pid: (self._levels[pid], pid))
+        """Return the id elected by lines 19-21: lexicographic min of (level, id).
+
+        The result is cached between mutations that can change it (see
+        ``__init__``); the common case — a message that leaves the current
+        leader's level untouched — answers from the cache in O(1).
+        """
+        leader = self._leader_cache
+        if leader is None:
+            leader = min(self._levels, key=lambda pid: (self._levels[pid], pid))
+            self._leader_cache = leader
+        return leader
 
     def snapshot(self) -> Tuple[Tuple[int, int], ...]:
         """Return an immutable snapshot suitable for embedding in an ALIVE message."""

@@ -88,6 +88,9 @@ class ShardedService:
         self.router = ShardRouter(num_shards)
         self.scheduler = EventScheduler()
         self.systems: List[System] = []
+        # Per-shard correct-replica lists; static (crash schedules are fixed at
+        # construction) and read by every client poll, so built lazily once.
+        self._correct_replicas_cache: Dict[int, List[ServiceReplica]] = {}
 
         if scenario_factory is None:
             scenario_factory = self._default_scenario_factory()
@@ -188,8 +191,17 @@ class ShardedService:
         return [shell.algorithm for shell in self.systems[shard].shells]
 
     def correct_replicas(self, shard: int) -> List[ServiceReplica]:
-        """Return the replicas of *shard* that never crash under its schedule."""
-        return [shell.algorithm for shell in self.systems[shard].correct_shells()]
+        """Return the replicas of *shard* that never crash under its schedule.
+
+        Cached (the schedule is static); callers must not mutate the list.
+        """
+        cached = self._correct_replicas_cache.get(shard)
+        if cached is None:
+            cached = [
+                shell.algorithm for shell in self.systems[shard].correct_shells()
+            ]
+            self._correct_replicas_cache[shard] = cached
+        return cached
 
     def reference_replica(self, shard: int) -> ServiceReplica:
         """A correct replica used for shard-level reporting."""

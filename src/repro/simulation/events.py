@@ -5,16 +5,29 @@ for the same instant fire in the order they were scheduled, which keeps executio
 fully deterministic for a given seed.  Cancelled events stay in the heap and are
 skipped lazily when popped (cheaper than heap surgery and irrelevant for memory at
 the scales of this library).
+
+Hot-path design
+---------------
+The simulator executes one event per simulated message and per timer, so this
+module is allocation-sensitive.  An :class:`Event` is a slotted object carrying a
+``(callback, arg)`` pair: schedulers push a bound method plus its single argument
+(e.g. ``Network._deliver_envelope`` plus the in-flight envelope) instead of
+allocating a closure per event.  ``arg`` defaults to the :data:`NO_ARG` sentinel,
+in which case the callback is invoked with no arguments — existing zero-argument
+callbacks keep working unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
-#: Signature of an event callback (called with no arguments).
-EventCallback = Callable[[], None]
+#: Signature of an event callback (called with no arguments, or with ``arg``).
+EventCallback = Callable[..., None]
+
+#: Sentinel meaning "no argument": the callback is invoked as ``callback()``.
+NO_ARG = object()
 
 
 class Event:
@@ -26,21 +39,35 @@ class Event:
         Absolute virtual time at which the event fires.
     seq:
         Monotonically increasing sequence number used as a tie-breaker.
+    callback / arg:
+        The work to run: ``callback(arg)``, or ``callback()`` when ``arg`` is
+        :data:`NO_ARG`.
     cancelled:
         True when the event has been cancelled; cancelled events never run.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "arg", "cancelled", "_in_queue")
 
-    def __init__(self, time: float, seq: int, callback: EventCallback) -> None:
+    def __init__(
+        self, time: float, seq: int, callback: EventCallback, arg: Any = NO_ARG
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.arg = arg
         self.cancelled = False
+        self._in_queue = True
 
     def cancel(self) -> None:
         """Mark the event as cancelled."""
         self.cancelled = True
+
+    def run(self) -> None:
+        """Invoke the callback (with ``arg`` when one was supplied)."""
+        if self.arg is NO_ARG:
+            self.callback()
+        else:
+            self.callback(self.arg)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -58,20 +85,29 @@ class EventQueue:
     def __len__(self) -> int:
         return self._live
 
-    def push(self, time: float, callback: EventCallback) -> Event:
-        """Schedule *callback* at absolute *time* and return its :class:`Event`."""
+    def push(self, time: float, callback: EventCallback, arg: Any = NO_ARG) -> Event:
+        """Schedule *callback* at absolute *time* and return its :class:`Event`.
+
+        ``arg`` (when given) is passed to the callback at execution time; this is
+        the zero-allocation alternative to binding the argument in a lambda.
+        """
         if time < 0:
             raise ValueError(f"event time must be >= 0, got {time}")
-        event = Event(time, next(self._counter), callback)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        event = Event(time, next(self._counter), callback, arg)
+        heapq.heappush(self._heap, (time, event.seq, event))
         self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel *event* (no-op if it already ran or was already cancelled)."""
-        if not event.cancelled:
+        """Cancel *event* (no-op if it already ran or was already cancelled).
+
+        Membership is tracked explicitly so that cancelling an event that was
+        already popped (it ran, or was lazily discarded) does not corrupt the
+        live count reported by ``len``.
+        """
+        if event._in_queue and not event.cancelled:
             event.cancelled = True
-            self._live = max(0, self._live - 1)
+            self._live -= 1
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or ``None`` if empty."""
@@ -86,9 +122,35 @@ class EventQueue:
         if not self._heap:
             return None
         _, _, event = heapq.heappop(self._heap)
-        self._live = max(0, self._live - 1)
+        event._in_queue = False
+        self._live -= 1
         return event
 
+    def pop_at_or_before(self, limit: float) -> Optional[Event]:
+        """Pop the next live event with ``time <= limit`` (``None`` otherwise).
+
+        Single-pass variant of ``peek_time`` + ``pop`` used by the scheduler's
+        ``run_until`` hot loop: the heap root is examined exactly once per event.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                heappop(heap)
+                event._in_queue = False
+                continue
+            if entry[0] > limit:
+                return None
+            heappop(heap)
+            event._in_queue = False
+            self._live -= 1
+            return event
+        return None
+
     def _discard_cancelled(self) -> None:
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            event = heapq.heappop(heap)[2]
+            event._in_queue = False

@@ -11,14 +11,30 @@ Messages addressed to a crashed process are discarded at delivery time (receivin
 a local step the crashed process no longer executes); messages *from* a process that
 crashed after sending are still delivered, matching the model in which a send that
 completed before the crash is effective.
+
+Hot-path design
+---------------
+The paper's algorithms broadcast ALIVE/SUSPICION every period — n² messages per
+round — so per-message cost dominates simulated throughput.  Three choices keep one
+message cheap:
+
+* :meth:`Network.broadcast` is the native fan-out entry point: the innermost tag and
+  round number of the (possibly wrapped) message are computed **once** per broadcast
+  and shared by every destination, instead of re-walking the envelope chain per
+  destination as a loop of :meth:`Network.send` calls would.
+* :class:`Envelope` is a plain ``__slots__`` object that carries its precomputed
+  ``tag``, and is handed directly to the scheduler as the event argument — no
+  closure, no dict, and delivery never re-derives the tag.
+* :class:`NetworkStats` keeps plain integer counters keyed by interned tags (dict
+  views are materialised lazily), and trace bookkeeping is skipped entirely when no
+  tracer is installed.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import itertools
 from collections import Counter
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.composition import unwrap_round_number, unwrap_tag
 from repro.core.interfaces import Message
@@ -26,73 +42,157 @@ from repro.simulation.delays import DelayModel, MessageContext
 from repro.simulation.scheduler import EventScheduler
 
 
-@dataclasses.dataclass
 class Envelope:
-    """A message in flight."""
+    """A message in flight.
 
-    msg_id: int
-    sender: int
-    dest: int
-    message: Message
-    send_time: float
-    deliver_time: float
+    A slotted record rather than a dataclass: one envelope is allocated per
+    (message, destination) pair on the simulator's hottest path, and it doubles as
+    the scheduler event argument.  ``tag`` is the innermost protocol tag, computed
+    once at send time and reused by delivery-time accounting.
+    """
+
+    __slots__ = ("msg_id", "sender", "dest", "message", "send_time", "deliver_time", "tag")
+
+    def __init__(
+        self,
+        msg_id: int,
+        sender: int,
+        dest: int,
+        message: Message,
+        send_time: float,
+        deliver_time: float,
+        tag: str,
+    ) -> None:
+        self.msg_id = msg_id
+        self.sender = sender
+        self.dest = dest
+        self.message = message
+        self.send_time = send_time
+        self.deliver_time = deliver_time
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope(msg_id={self.msg_id}, {self.sender}->{self.dest}, "
+            f"tag={self.tag!r}, deliver_time={self.deliver_time})"
+        )
 
 
 class NetworkStats:
-    """Message accounting used by the cost experiments (E6, E9)."""
+    """Message accounting used by the cost experiments (E6, E9).
+
+    Counters are plain ``dict[str, int]`` / ``dict[int, int]`` updated inline (the
+    per-message cost is two dict increments and an integer add); the public
+    ``*_by_tag`` / ``*_by_process`` attributes of the original API are exposed as
+    lazily materialised :class:`collections.Counter` views, so ``as_dict()`` output
+    and ``stats.sent_by_tag["ALIVE"]``-style reads are unchanged.
+    """
+
+    __slots__ = (
+        "_sent_by_tag",
+        "_delivered_by_tag",
+        "_dropped_by_tag",
+        "_sent_by_process",
+        "_delivered_to_process",
+        "_total_sent",
+        "_total_delivered",
+        "_total_dropped",
+        "total_delay",
+        "max_delay",
+    )
 
     def __init__(self) -> None:
-        self.sent_by_tag: Counter = Counter()
-        self.delivered_by_tag: Counter = Counter()
-        self.dropped_by_tag: Counter = Counter()
-        self.sent_by_process: Counter = Counter()
-        self.delivered_to_process: Counter = Counter()
+        self._sent_by_tag: Dict[str, int] = {}
+        self._delivered_by_tag: Dict[str, int] = {}
+        self._dropped_by_tag: Dict[str, int] = {}
+        self._sent_by_process: Dict[int, int] = {}
+        self._delivered_to_process: Dict[int, int] = {}
+        self._total_sent = 0
+        self._total_delivered = 0
+        self._total_dropped = 0
         self.total_delay = 0.0
         self.max_delay = 0.0
+
+    # -- lazy dict views (API-compatible with the former Counter attributes) ------
+    @property
+    def sent_by_tag(self) -> Counter:
+        """Messages handed to the network, per innermost tag."""
+        return Counter(self._sent_by_tag)
+
+    @property
+    def delivered_by_tag(self) -> Counter:
+        """Messages delivered to a live process, per innermost tag."""
+        return Counter(self._delivered_by_tag)
+
+    @property
+    def dropped_by_tag(self) -> Counter:
+        """Messages dropped (lossy links or destination crashed), per tag."""
+        return Counter(self._dropped_by_tag)
+
+    @property
+    def sent_by_process(self) -> Counter:
+        """Messages handed to the network, per sender."""
+        return Counter(self._sent_by_process)
+
+    @property
+    def delivered_to_process(self) -> Counter:
+        """Messages delivered, per destination."""
+        return Counter(self._delivered_to_process)
 
     @property
     def total_sent(self) -> int:
         """Total number of messages handed to the network."""
-        return sum(self.sent_by_tag.values())
+        return self._total_sent
 
     @property
     def total_delivered(self) -> int:
         """Total number of messages delivered to a live process."""
-        return sum(self.delivered_by_tag.values())
+        return self._total_delivered
 
     @property
     def total_dropped(self) -> int:
         """Messages dropped (lossy links or destination crashed)."""
-        return sum(self.dropped_by_tag.values())
+        return self._total_dropped
 
     @property
     def mean_delay(self) -> float:
         """Mean transfer delay over delivered messages."""
-        delivered = self.total_delivered
+        delivered = self._total_delivered
         return self.total_delay / delivered if delivered else 0.0
 
-    def record_sent(self, tag: str, sender: int) -> None:
-        self.sent_by_tag[tag] += 1
-        self.sent_by_process[sender] += 1
+    # -- recording (hot path) ------------------------------------------------------
+    def record_sent(self, tag: str, sender: int, count: int = 1) -> None:
+        """Count *count* messages with *tag* handed to the network by *sender*."""
+        self._total_sent += count
+        by_tag = self._sent_by_tag
+        by_tag[tag] = by_tag.get(tag, 0) + count
+        by_process = self._sent_by_process
+        by_process[sender] = by_process.get(sender, 0) + count
 
     def record_delivered(self, tag: str, dest: int, delay: float) -> None:
-        self.delivered_by_tag[tag] += 1
-        self.delivered_to_process[dest] += 1
+        self._total_delivered += 1
+        by_tag = self._delivered_by_tag
+        by_tag[tag] = by_tag.get(tag, 0) + 1
+        to_process = self._delivered_to_process
+        to_process[dest] = to_process.get(dest, 0) + 1
         self.total_delay += delay
-        self.max_delay = max(self.max_delay, delay)
+        if delay > self.max_delay:
+            self.max_delay = delay
 
     def record_dropped(self, tag: str) -> None:
-        self.dropped_by_tag[tag] += 1
+        self._total_dropped += 1
+        by_tag = self._dropped_by_tag
+        by_tag[tag] = by_tag.get(tag, 0) + 1
 
     def as_dict(self) -> Dict[str, object]:
         """Return a JSON-friendly summary."""
         return {
-            "sent": dict(self.sent_by_tag),
-            "delivered": dict(self.delivered_by_tag),
-            "dropped": dict(self.dropped_by_tag),
-            "total_sent": self.total_sent,
-            "total_delivered": self.total_delivered,
-            "total_dropped": self.total_dropped,
+            "sent": dict(self._sent_by_tag),
+            "delivered": dict(self._delivered_by_tag),
+            "dropped": dict(self._dropped_by_tag),
+            "total_sent": self._total_sent,
+            "total_delivered": self._total_delivered,
+            "total_dropped": self._total_dropped,
             "mean_delay": self.mean_delay,
             "max_delay": self.max_delay,
         }
@@ -119,6 +219,7 @@ class Network:
         self._deliver: Dict[int, DeliveryCallback] = {}
         self._is_alive: Dict[int, LivenessCallback] = {}
         self._msg_ids = itertools.count(1)
+        self._registered_ids: List[int] = []
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------ wiring --
@@ -130,11 +231,12 @@ class Network:
             raise ValueError(f"process {pid} already registered with the network")
         self._deliver[pid] = deliver
         self._is_alive[pid] = is_alive
+        self._registered_ids = sorted(self._deliver)
 
     @property
     def registered_ids(self) -> list:
-        """Return the registered process ids (sorted)."""
-        return sorted(self._deliver)
+        """Return the registered process ids (sorted; cached at registration)."""
+        return list(self._registered_ids)
 
     # ------------------------------------------------------------------ transport --
     def send(self, sender: int, dest: int, message: Message) -> Optional[Envelope]:
@@ -146,64 +248,114 @@ class Network:
         if dest not in self._deliver:
             raise KeyError(f"destination process {dest} is not registered")
         tag = unwrap_tag(message)
-        ctx = MessageContext(
-            sender=sender,
-            dest=dest,
-            tag=tag,
-            round_number=unwrap_round_number(message),
-            send_time=self._scheduler.now,
-        )
         self.stats.record_sent(tag, sender)
-        delay = self.delay_model.delay(ctx)
+        return self._dispatch(
+            sender, dest, message, tag, unwrap_round_number(message), self._scheduler.now
+        )
+
+    def broadcast(
+        self, sender: int, dests: Sequence[int], message: Message
+    ) -> List[Optional[Envelope]]:
+        """Send *message* from *sender* to every process in *dests*.
+
+        Semantically identical to a loop of :meth:`send` calls over *dests* (one
+        independent delay decision per destination, in order; per-destination
+        drops; identical stats), but the envelope walk — innermost tag and round
+        number of a possibly :class:`~repro.core.messages.Wrapped` message — is
+        done once and shared by the whole fan-out.
+
+        Returns the per-destination in-flight envelopes (``None`` where the delay
+        model dropped the message).
+        """
+        if not dests:
+            # Parity with the loop-of-sends path: no stats entries, not even
+            # zero-count tag/sender keys.
+            return []
+        deliver = self._deliver
+        for dest in dests:
+            if dest not in deliver:
+                raise KeyError(f"destination process {dest} is not registered")
+        tag = unwrap_tag(message)
+        rn = unwrap_round_number(message)
+        now = self._scheduler.now
+        self.stats.record_sent(tag, sender, count=len(dests))
+        dispatch = self._dispatch
+        return [dispatch(sender, dest, message, tag, rn, now) for dest in dests]
+
+    def _dispatch(
+        self,
+        sender: int,
+        dest: int,
+        message: Message,
+        tag: str,
+        round_number: Optional[int],
+        send_time: float,
+    ) -> Optional[Envelope]:
+        """Decide the delay of one (message, destination) pair and schedule delivery.
+
+        ``record_sent`` has already been done by the caller (once per destination
+        for :meth:`send`, in bulk for :meth:`broadcast`).
+        """
+        delay = self.delay_model.delay(
+            MessageContext(
+                sender=sender,
+                dest=dest,
+                tag=tag,
+                round_number=round_number,
+                send_time=send_time,
+            )
+        )
         if delay is None:
             self.stats.record_dropped(tag)
-            self._trace(ctx.send_time, sender, "message_dropped", tag=tag, dest=dest)
+            if self._tracer is not None:
+                self._tracer.record(
+                    send_time, sender, "message_dropped", tag=tag, dest=dest
+                )
             return None
         if delay < 0:
             raise ValueError(
                 f"delay model {self.delay_model.describe()} returned negative delay "
-                f"{delay} for {ctx}"
+                f"{delay} for {tag} {sender}->{dest}"
             )
         envelope = Envelope(
-            msg_id=next(self._msg_ids),
-            sender=sender,
-            dest=dest,
-            message=message,
-            send_time=ctx.send_time,
-            deliver_time=ctx.send_time + delay,
+            next(self._msg_ids),
+            sender,
+            dest,
+            message,
+            send_time,
+            send_time + delay,
+            tag,
         )
         self._scheduler.schedule_at(
-            envelope.deliver_time, lambda env=envelope: self._deliver_envelope(env)
+            envelope.deliver_time, self._deliver_envelope, envelope
         )
-        self._trace(
-            ctx.send_time,
-            sender,
-            "message_sent",
-            tag=tag,
-            dest=dest,
-            deliver_time=envelope.deliver_time,
-        )
+        if self._tracer is not None:
+            self._tracer.record(
+                send_time,
+                sender,
+                "message_sent",
+                tag=tag,
+                dest=dest,
+                deliver_time=envelope.deliver_time,
+            )
         return envelope
 
     def _deliver_envelope(self, envelope: Envelope) -> None:
-        tag = unwrap_tag(envelope.message)
-        if not self._is_alive[envelope.dest]():
+        dest = envelope.dest
+        tag = envelope.tag
+        if not self._is_alive[dest]():
             # Reception is a local step; a crashed process takes no steps.
             self.stats.record_dropped(tag)
             return
         delay = envelope.deliver_time - envelope.send_time
-        self.stats.record_delivered(tag, envelope.dest, delay)
-        self._trace(
-            envelope.deliver_time,
-            envelope.dest,
-            "message_delivered",
-            tag=tag,
-            sender=envelope.sender,
-            delay=delay,
-        )
-        self._deliver[envelope.dest](envelope.sender, envelope.message)
-
-    # ------------------------------------------------------------------ tracing --
-    def _trace(self, time: float, pid: int, kind: str, **details: object) -> None:
+        self.stats.record_delivered(tag, dest, delay)
         if self._tracer is not None:
-            self._tracer.record(time, pid, kind, **details)
+            self._tracer.record(
+                envelope.deliver_time,
+                dest,
+                "message_delivered",
+                tag=tag,
+                sender=envelope.sender,
+                delay=delay,
+            )
+        self._deliver[dest](envelope.sender, envelope.message)

@@ -6,18 +6,30 @@
 timers, its links and its local randomness, and enforces the crash-stop failure
 model: once :meth:`crash` has been called the process takes no further steps — no
 timer fires, no message is delivered, nothing is sent.
+
+Hot-path design
+---------------
+``broadcast`` forwards the whole fan-out to the network's native
+:meth:`~repro.simulation.network.Network.broadcast` (destination tuples are
+precomputed at construction), and ``set_timer`` hands the scheduler a
+``(bound method, handle)`` pair instead of a lambda, attaching the scheduler event
+to the handle itself — no per-timer registry entry.  Crash-stop is enforced by the
+``crashed`` guard in :meth:`_fire_timer`, so a crash does not need to hunt down
+in-flight timer events (they fire later as cheap no-ops and are never re-armed).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.core.interfaces import Environment, Message, Process, TimerHandle
-from repro.simulation.events import Event
 from repro.simulation.network import Network
 from repro.simulation.scheduler import EventScheduler
 from repro.util.rng import RandomSource
 from repro.util.validation import require_non_negative
+
+#: Attribute attached to a TimerHandle holding its scheduler event (see set_timer).
+_SIM_EVENT_ATTR = "_sim_event"
 
 
 class SimProcessShell(Environment):
@@ -38,6 +50,8 @@ class SimProcessShell(Environment):
         self._scheduler = scheduler
         self._network = network
         self._process_ids = tuple(process_ids)
+        #: Broadcast destination tuples, precomputed once.
+        self._peers = tuple(p for p in self._process_ids if p != pid)
         self._rng = rng
         self._tracer = tracer
 
@@ -47,7 +61,6 @@ class SimProcessShell(Environment):
         #: Number of messages this process has sent / received (handler deliveries).
         self.messages_sent = 0
         self.messages_received = 0
-        self._timer_events: Dict[int, Event] = {}
 
         network.register(pid, self._deliver, self.is_alive)
 
@@ -84,14 +97,17 @@ class SimProcessShell(Environment):
         self.algorithm.on_start(self)
 
     def crash(self) -> None:
-        """Crash the process: cancel its timers and silence it forever."""
+        """Crash the process: silence it forever.
+
+        Already-scheduled timer events are left in the queue; they are discarded
+        by the ``crashed`` guard in :meth:`_fire_timer` when they come up (and
+        periodic timers are never re-armed), which keeps ``crash`` O(1) instead of
+        walking a timer registry.
+        """
         if self.crashed:
             return
         self.crashed = True
         self.crash_time = self.now
-        for event in self._timer_events.values():
-            self._scheduler.cancel(event)
-        self._timer_events.clear()
         self.log("process_crashed")
         self.algorithm.on_crash(self)
 
@@ -106,6 +122,19 @@ class SimProcessShell(Environment):
             return
         self.messages_sent += 1
         self._network.send(self._pid, dest, message)
+
+    def broadcast(self, message: Message, include_self: bool = False) -> None:
+        """Send *message* to every process through the network's native fan-out.
+
+        Destination order matches the base-class loop (ascending process id), so
+        per-destination delay draws — and therefore whole executions — are
+        identical to the loop-of-sends semantics.
+        """
+        if self.crashed:
+            return
+        dests = self._process_ids if include_self else self._peers
+        self.messages_sent += len(dests)
+        self._network.broadcast(self._pid, dests, message)
 
     def _deliver(self, sender: int, message: Message) -> None:
         if self.crashed:
@@ -122,20 +151,20 @@ class SimProcessShell(Environment):
             # so defensive callers do not blow up.
             handle.cancel()
             return handle
-        event = self._scheduler.schedule_after(
-            delay, lambda h=handle: self._fire_timer(h)
+        setattr(
+            handle,
+            _SIM_EVENT_ATTR,
+            self._scheduler.schedule_after(delay, self._fire_timer, handle),
         )
-        self._timer_events[handle.timer_id] = event
         return handle
 
     def cancel_timer(self, handle: TimerHandle) -> None:
         handle.cancel()
-        event = self._timer_events.pop(handle.timer_id, None)
+        event = getattr(handle, _SIM_EVENT_ATTR, None)
         if event is not None:
             self._scheduler.cancel(event)
 
     def _fire_timer(self, handle: TimerHandle) -> None:
-        self._timer_events.pop(handle.timer_id, None)
         if self.crashed or handle.cancelled:
             return
         self.algorithm.on_timer(self, handle)

@@ -4,13 +4,18 @@
 virtual clock (the "fictional global discrete clock" of the paper's model, visible to
 the analysis layer but never to the algorithms) and executes scheduled events in
 timestamp order.
+
+Both scheduling entry points accept an optional ``arg`` that is passed to the
+callback at execution time (see :mod:`repro.simulation.events`): schedulers of hot
+per-message work hand over ``(bound_method, payload)`` pairs instead of allocating a
+closure per event.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
-from repro.simulation.events import Event, EventCallback, EventQueue
+from repro.simulation.events import NO_ARG, Event, EventCallback, EventQueue
 from repro.util.validation import require_non_negative
 
 
@@ -39,7 +44,9 @@ class EventScheduler:
         return self._executed
 
     # ------------------------------------------------------------------ scheduling --
-    def schedule_at(self, time: float, callback: EventCallback) -> Event:
+    def schedule_at(
+        self, time: float, callback: EventCallback, arg: Any = NO_ARG
+    ) -> Event:
         """Schedule *callback* at absolute virtual time *time*.
 
         Scheduling strictly in the past is an error; scheduling exactly at the
@@ -50,12 +57,14 @@ class EventScheduler:
             raise ValueError(
                 f"cannot schedule an event in the past: {time} < now {self._now}"
             )
-        return self._queue.push(time, callback)
+        return self._queue.push(time, callback, arg)
 
-    def schedule_after(self, delay: float, callback: EventCallback) -> Event:
+    def schedule_after(
+        self, delay: float, callback: EventCallback, arg: Any = NO_ARG
+    ) -> Event:
         """Schedule *callback* after *delay* virtual time units."""
         require_non_negative(delay, "delay")
-        return self._queue.push(self._now + delay, callback)
+        return self._queue.push(self._now + delay, callback, arg)
 
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event (safe to call twice)."""
@@ -67,9 +76,10 @@ class EventScheduler:
         event = self._queue.pop()
         if event is None:
             return False
-        self._now = max(self._now, event.time)
+        if event.time > self._now:
+            self._now = event.time
         self._executed += 1
-        event.callback()
+        event.run()
         return True
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
@@ -95,12 +105,21 @@ class EventScheduler:
         """
         if time < self._now:
             raise ValueError(f"cannot run until {time}, clock already at {self._now}")
+        # Tight loop: one heap inspection per event, locals bound outside the loop.
+        pop = self._queue.pop_at_or_before
+        no_arg = NO_ARG
         executed = 0
         while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > time:
+            event = pop(time)
+            if event is None:
                 break
-            self.step()
+            if event.time > self._now:
+                self._now = event.time
+            self._executed += 1
+            if event.arg is no_arg:
+                event.callback()
+            else:
+                event.callback(event.arg)
             executed += 1
             if max_events is not None and executed > max_events:
                 raise RuntimeError(

@@ -82,6 +82,9 @@ class System:
         self._master_rng = RandomSource(config.seed, label="system")
 
         process_ids = list(range(config.n))
+        # The crash schedule is fixed at construction, so the correct-shell set is
+        # static; computed lazily once (client polls read it on the hot path).
+        self._correct_shells_cache: Optional[List[SimProcessShell]] = None
         self.shells: List[SimProcessShell] = []
         for pid in process_ids:
             algorithm = process_factory(pid)
@@ -139,12 +142,20 @@ class System:
         return [shell for shell in self.shells if not shell.crashed]
 
     def correct_shells(self) -> List[SimProcessShell]:
-        """Return the shells of processes that never crash under the schedule."""
-        return [
-            shell
-            for shell in self.shells
-            if self.crash_schedule.is_correct(shell.pid)
-        ]
+        """Return the shells of processes that never crash under the schedule.
+
+        The result is computed once and reused (the schedule is immutable); the
+        returned list must not be mutated by callers.
+        """
+        cached = self._correct_shells_cache
+        if cached is None:
+            cached = [
+                shell
+                for shell in self.shells
+                if self.crash_schedule.is_correct(shell.pid)
+            ]
+            self._correct_shells_cache = cached
+        return cached
 
     def correct_ids(self) -> List[int]:
         """Return the ids of the processes that never crash under the schedule."""

@@ -1,0 +1,83 @@
+"""Determinism regression test for the simulation substrate.
+
+The hot-path refactor (native broadcast, (callback, arg) events, envelope reuse)
+must not change what a seeded execution computes.  This test runs a mixed
+Omega + sharded-service scenario twice with the same seed and asserts the two
+executions are indistinguishable: same event counts, same per-process leader
+histories, same decided logs and same final key-value state.  It guards against
+*within-run* nondeterminism leaking into the substrate — iteration over
+unordered containers, RNG draws keyed on object identity, wall-clock leakage.
+
+It cannot see a change that deterministically alters both runs the same way
+(e.g. swapping broadcast destination order); that cross-version guarantee is
+covered by ``benchmarks/bench_perf.py``, whose run fingerprints are compared
+against the committed ``benchmarks/perf_baseline.json``.
+"""
+
+from repro.core.figure3 import Figure3Omega
+from repro.service import build_sharded_service, start_clients, zipfian_workload
+from repro.simulation.delays import UniformDelay
+from repro.simulation.system import System, SystemConfig
+from repro.util.rng import RandomSource
+
+SEED = 20260730
+HORIZON = 80.0
+
+
+def _omega_run():
+    """A plain Figure 3 system: the ALIVE/SUSPICION broadcast path."""
+    n, t = 6, 1
+    system = System(
+        SystemConfig(n=n, t=t, seed=SEED),
+        lambda pid: Figure3Omega(pid=pid, n=n, t=t),
+        UniformDelay(0.5, 2.0, RandomSource(SEED, label="determinism")),
+    )
+    system.run_until(HORIZON)
+    return {
+        "executed": system.scheduler.executed,
+        "stats": system.stats.as_dict(),
+        "leader_histories": {
+            shell.pid: shell.algorithm.leader_history for shell in system.shells
+        },
+        "leaders": system.leaders(),
+    }
+
+
+def _service_run():
+    """A sharded service with closed-loop clients: the composite/Wrapped path."""
+    service = build_sharded_service(num_shards=2, n=3, t=1, seed=SEED, batch_size=4)
+    clients = start_clients(
+        service,
+        num_clients=8,
+        workload_factory=lambda i: zipfian_workload(num_keys=16),
+    )
+    service.run_until(HORIZON)
+    return {
+        "executed": service.scheduler.executed,
+        "committed": sum(client.stats.completed for client in clients),
+        "applied": [
+            service.applied_commands(shard) for shard in range(service.num_shards)
+        ],
+        "decided": [
+            sorted(service.reference_replica(shard).log.decided_log().items())
+            for shard in range(service.num_shards)
+        ],
+        "digests": {
+            shard: service.state_digests(shard) for shard in range(service.num_shards)
+        },
+        "consistent": service.is_consistent(),
+    }
+
+
+class TestDeterminism:
+    def test_omega_run_is_reproducible(self):
+        first = _omega_run()
+        second = _omega_run()
+        assert first == second
+
+    def test_service_run_is_reproducible(self):
+        first = _service_run()
+        second = _service_run()
+        assert first == second
+        assert first["consistent"]
+        assert first["committed"] > 0

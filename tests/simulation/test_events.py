@@ -72,3 +72,30 @@ class TestEventQueue:
         queue.cancel(event)
         queue.cancel(event)
         assert len(queue) == 0
+
+    def test_cancel_after_pop_does_not_undercount(self):
+        # Regression: cancelling an event that already ran used to decrement the
+        # live count a second time, making len() undercount remaining events.
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is first
+        queue.cancel(first)
+        assert len(queue) == 1
+
+    def test_cancel_after_lazy_discard_does_not_undercount(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 2.0  # lazily discards the cancelled head
+        queue.cancel(first)
+        queue.cancel(second)
+        assert len(queue) == 0
+
+    def test_callback_arg_passed_at_execution(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(1.0, seen.append, "payload")
+        queue.pop().run()
+        assert seen == ["payload"]
