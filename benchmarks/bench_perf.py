@@ -52,6 +52,7 @@ if str(_REPO_ROOT / "src") not in sys.path:
 from repro.core.figure3 import Figure3Omega
 from repro.service import build_sharded_service, start_clients, zipfian_workload
 from repro.simulation.delays import UniformDelay
+from repro.simulation.faults import FaultPlan
 from repro.simulation.system import System, SystemConfig
 from repro.util.rng import RandomSource
 
@@ -65,8 +66,14 @@ def _fingerprint(payload: object) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-def bench_omega_broadcast(quick: bool) -> dict:
-    """n-process Figure 3 run: the ALIVE/SUSPICION n² broadcast hot path."""
+def bench_omega_broadcast(quick: bool, noop_fault_plan: bool = False) -> dict:
+    """n-process Figure 3 run: the ALIVE/SUSPICION n² broadcast hot path.
+
+    With ``noop_fault_plan`` the system is built through the fault-plan engine
+    with an empty :class:`FaultPlan`; the run must be byte-identical (same
+    fingerprint) and just as fast — the CI perf-smoke job runs this variant to
+    prove the engine costs nothing on the hot path.
+    """
     n = 12 if quick else 25
     t = (n - 1) // 3
     horizon = 150.0 if quick else 400.0
@@ -77,6 +84,7 @@ def bench_omega_broadcast(quick: bool) -> dict:
         SystemConfig(n=n, t=t, seed=seed),
         lambda pid: Figure3Omega(pid=pid, n=n, t=t),
         delay_model,
+        fault_plan=FaultPlan.none() if noop_fault_plan else None,
     )
     start = time.perf_counter()
     system.run_until(horizon)
@@ -107,7 +115,7 @@ def bench_omega_broadcast(quick: bool) -> dict:
     }
 
 
-def bench_sharded_service(quick: bool) -> dict:
+def bench_sharded_service(quick: bool, noop_fault_plan: bool = False) -> dict:
     """E10-style run: S consensus groups + closed-loop clients on one clock."""
     num_shards = 2 if quick else 4
     num_clients = 12 if quick else 48
@@ -115,7 +123,12 @@ def bench_sharded_service(quick: bool) -> dict:
     seed = 1100 + num_shards
 
     service = build_sharded_service(
-        num_shards=num_shards, n=3, t=1, seed=seed, batch_size=8
+        num_shards=num_shards,
+        n=3,
+        t=1,
+        seed=seed,
+        batch_size=8,
+        fault_plan_factory=(lambda shard: FaultPlan.none()) if noop_fault_plan else None,
     )
     clients = start_clients(
         service,
@@ -159,10 +172,10 @@ def bench_sharded_service(quick: bool) -> dict:
     }
 
 
-def run_benchmarks(quick: bool) -> dict:
+def run_benchmarks(quick: bool, noop_fault_plan: bool = False) -> dict:
     return {
-        "omega_broadcast": bench_omega_broadcast(quick),
-        "sharded_service": bench_sharded_service(quick),
+        "omega_broadcast": bench_omega_broadcast(quick, noop_fault_plan),
+        "sharded_service": bench_sharded_service(quick, noop_fault_plan),
     }
 
 
@@ -185,12 +198,19 @@ def main(argv=None) -> int:
         default=None,
         help="exit non-zero when the omega_broadcast benchmark runs slower than this",
     )
+    parser.add_argument(
+        "--noop-fault-plan",
+        action="store_true",
+        help="route the runs through the fault-plan engine with an empty FaultPlan "
+        "(must match the default path's fingerprints and speed exactly)",
+    )
     args = parser.parse_args(argv)
 
-    results = run_benchmarks(args.quick)
+    results = run_benchmarks(args.quick, args.noop_fault_plan)
     report = {
         "schema": 1,
         "quick": args.quick,
+        "noop_fault_plan": args.noop_fault_plan,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "benchmarks": results,

@@ -8,8 +8,10 @@ assumption keeps holding per shard, so every shard keeps committing, clients
 fail over and retransmit, and the exactly-once session table absorbs the
 duplicates.  At the end every replica of every shard holds the identical store.
 
-Run with:  python examples/kvstore_demo.py
+Run with:  python examples/kvstore_demo.py [--quick]
 """
+
+import argparse
 
 from repro.analysis import summarize_service
 from repro.service import build_sharded_service, start_clients, zipfian_workload
@@ -22,6 +24,14 @@ HORIZON = 400.0
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer clients / smaller keyspace (CI smoke)"
+    )
+    args = parser.parse_args()
+    num_clients = 20 if args.quick else CLIENTS
+    num_keys = 32 if args.quick else 128
+
     service = build_sharded_service(
         num_shards=SHARDS,
         n=N,
@@ -33,10 +43,10 @@ def main() -> None:
     )
     clients = start_clients(
         service,
-        num_clients=CLIENTS,
-        workload_factory=lambda i: zipfian_workload(num_keys=128, read_fraction=0.5),
+        num_clients=num_clients,
+        workload_factory=lambda i: zipfian_workload(num_keys=num_keys, read_fraction=0.5),
     )
-    print(f"{SHARDS} shards x {N} replicas, {CLIENTS} zipfian closed-loop clients")
+    print(f"{SHARDS} shards x {N} replicas, {num_clients} zipfian closed-loop clients")
     print()
 
     for checkpoint in (100.0, 200.0, 300.0, HORIZON):

@@ -68,11 +68,18 @@ from repro.assumptions import (
     Scenario,
 )
 from repro.simulation import (
+    Crash,
     CrashSchedule,
     DelayModel,
     EventScheduler,
+    FaultPlan,
+    LinkFault,
     Network,
+    PartitionHeal,
+    PartitionStart,
+    Recover,
     SimProcessShell,
+    SlowProcess,
     System,
     SystemConfig,
     UniformDelay,
@@ -125,11 +132,18 @@ __all__ = [
     "MessagePatternScenario",
     "Scenario",
     # simulation
+    "Crash",
     "CrashSchedule",
     "DelayModel",
     "EventScheduler",
+    "FaultPlan",
+    "LinkFault",
     "Network",
+    "PartitionHeal",
+    "PartitionStart",
+    "Recover",
     "SimProcessShell",
+    "SlowProcess",
     "System",
     "SystemConfig",
     "UniformDelay",

@@ -8,7 +8,16 @@ from repro.analysis.experiments import (
     run_omega_experiment,
     summarize_run,
 )
-from repro.analysis.metrics import LeaderPoller, LeaderSample, MessageStats, summarize_levels
+from repro.analysis.metrics import (
+    AvailabilitySampler,
+    LeaderPoller,
+    LeaderSample,
+    MessageStats,
+    component_agreed_leaders,
+    component_leaders,
+    reachable_components,
+    summarize_levels,
+)
 from repro.analysis.service_metrics import (
     LatencyStats,
     ServiceSummary,
@@ -19,6 +28,7 @@ from repro.analysis.service_metrics import (
 from repro.analysis.trace import TraceEvent, Tracer
 
 __all__ = [
+    "AvailabilitySampler",
     "BoundsAudit",
     "ExperimentResult",
     "LatencyStats",
@@ -32,7 +42,10 @@ __all__ = [
     "audit_bounds",
     "build_system",
     "compare_algorithms",
+    "component_agreed_leaders",
+    "component_leaders",
     "latency_stats",
+    "reachable_components",
     "run_omega_experiment",
     "summarize_levels",
     "summarize_run",

@@ -10,6 +10,14 @@ every live process of a system.  From those samples the module computes:
 * the number of leader changes observed at correct processes;
 * the boundedness statistics needed by experiment E3 (maximum suspicion level,
   Lemma 8 spread violations, final timeout values).
+
+The fault-plan engine (:mod:`repro.simulation.faults`) adds partition-aware and
+availability views: :func:`reachable_components` groups the alive processes by
+the partition currently in force, :func:`component_leaders` measures leader
+agreement *per reachable component* (during a split brain "one leader per
+component" is the correct expectation, not global agreement), and
+:class:`AvailabilitySampler` tracks how many processes are up over time under
+crash-recovery plans.
 """
 
 from __future__ import annotations
@@ -175,6 +183,96 @@ class LeaderPoller:
             for pid, timeout in sample.timeouts.items():
                 per_process.setdefault(pid, set()).add(timeout)
         return all(len(values) == 1 for values in per_process.values())
+
+
+# ---------------------------------------------------------------------- partitions
+def reachable_components(system: System) -> List[List[int]]:
+    """Group the currently-alive pids by mutual reachability.
+
+    With no partition in force (including every system without topology faults)
+    all alive processes form one component.  While a partition is active, each
+    side that still contains an alive process is one component.  One-way link
+    cuts and lossy links do *not* split components — they degrade links rather
+    than disconnect groups.
+    """
+    alive = [shell.pid for shell in system.alive_shells()]
+    link_state = system.link_state
+    groups = (
+        link_state.partition_groups(system.config.n)
+        if link_state is not None
+        else None
+    )
+    if groups is None:
+        return [alive] if alive else []
+    alive_set = set(alive)
+    components = [
+        [pid for pid in group if pid in alive_set] for group in groups
+    ]
+    return [component for component in components if component]
+
+
+def component_leaders(system: System) -> List[Dict[int, int]]:
+    """Per reachable component: ``pid -> leader()`` of its alive oracle members."""
+    leaders = system.leaders()
+    return [
+        {pid: leaders[pid] for pid in component if pid in leaders}
+        for component in reachable_components(system)
+    ]
+
+
+def component_agreed_leaders(system: System) -> List[Optional[int]]:
+    """The leader each reachable component agrees on (``None`` = split within).
+
+    During a partition this is the election metric that matters: the global
+    :meth:`~repro.simulation.system.System.agreed_leader` is necessarily
+    ``None`` (the sides cannot hear each other), while a healthy Omega stack
+    still converges to one leader *inside* each component.
+    """
+    agreed: List[Optional[int]] = []
+    for outputs in component_leaders(system):
+        values = set(outputs.values())
+        agreed.append(values.pop() if len(values) == 1 else None)
+    return agreed
+
+
+class AvailabilitySampler:
+    """Samples how many processes are up, at a fixed virtual-time interval.
+
+    Under crash-recovery fault plans availability is a trajectory, not a
+    constant: processes leave and rejoin.  The sampler records the alive
+    fraction at every interval; :meth:`availability` is the mean over the whole
+    run (the standard "fraction of process-time up" reading) and
+    :meth:`min_alive` the worst instant.
+    """
+
+    def __init__(self, system: System, interval: float = 5.0) -> None:
+        require_positive(interval, "interval")
+        self.system = system
+        self.interval = interval
+        #: ``(time, alive_count)`` pairs, one per sample.
+        self.samples: List[tuple] = []
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        self.system.scheduler.schedule_after(self.interval, self._sample)
+
+    def _sample(self) -> None:
+        alive = sum(1 for shell in self.system.shells if not shell.crashed)
+        self.samples.append((self.system.now, alive))
+        self._schedule_next()
+
+    def availability(self) -> float:
+        """Mean alive fraction over the sampled run (1.0 when never sampled)."""
+        if not self.samples:
+            return 1.0
+        n = self.system.config.n
+        return sum(count for _, count in self.samples) / (len(self.samples) * n)
+
+    def min_alive(self) -> int:
+        """Smallest number of alive processes seen in any sample."""
+        if not self.samples:
+            return self.system.config.n
+        return min(count for _, count in self.samples)
 
 
 def summarize_levels(levels: Dict[int, Dict[int, int]]) -> Dict[str, int]:

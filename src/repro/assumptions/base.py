@@ -15,10 +15,11 @@ rotating t-star and every special case the paper lists in Section 3) and
 from __future__ import annotations
 
 import abc
-from typing import FrozenSet, Optional
+from typing import FrozenSet, List, Optional
 
 from repro.core.config import OmegaConfig
 from repro.simulation.delays import DelayModel
+from repro.simulation.faults import FaultPlan
 from repro.util.validation import validate_process_count
 
 
@@ -67,6 +68,65 @@ class Scenario(abc.ABC):
         """True when the scenario satisfies an assumption under which the paper
         proves eventual leadership (used by tests to pick the right assertion)."""
         return True
+
+    # -- fault-plan composition -------------------------------------------------
+    def fault_plan_violations(self, plan: FaultPlan) -> List[str]:
+        """Explain how *plan* permanently breaks this scenario's assumption.
+
+        The scenario's delay model constrains messages of its correct set (e.g.
+        ALIVE messages from the star centre); a fault plan is orthogonal but can
+        invalidate the assumption by taking that correct set away.  Only
+        *permanent* damage is reported — a crash of a protected process without
+        recovery, a partition that never heals and separates a protected process
+        from another eventually-up process, or an unhealed blocked link touching
+        a protected process.  Transient faults (healed partitions, recoveries,
+        bounded link faults) leave the eventual assumption intact and produce no
+        violation: that is precisely what makes the engine composable with the
+        paper's *eventual* assumptions.
+
+        Returns a list of human-readable violation descriptions (empty when the
+        plan preserves the assumption; see :meth:`admits_fault_plan`).
+        """
+        violations: List[str] = []
+        protected = self.protected_processes()
+        correct = set(plan.correct_ids(self.n))
+        for pid in sorted(protected):
+            if pid not in correct:
+                violations.append(
+                    f"protected process {pid} is permanently down under the plan"
+                )
+        final_partition = plan.final_partition()
+        if final_partition is not None and protected:
+            component_of = {}
+            for index, group in enumerate(final_partition):
+                for pid in group:
+                    component_of[pid] = index
+            rest = len(final_partition)
+            for pid in sorted(protected & correct):
+                side = component_of.get(pid, rest)
+                separated = sorted(
+                    peer
+                    for peer in correct
+                    if component_of.get(peer, rest) != side
+                )
+                if separated:
+                    violations.append(
+                        f"unhealed partition separates protected process {pid} "
+                        f"from correct processes {separated}"
+                    )
+        for sender, dest in plan.final_blocked_links():
+            if (sender in protected or dest in protected) and (
+                sender in correct and dest in correct
+            ):
+                violations.append(
+                    f"link {sender}->{dest} involving a protected process is "
+                    "permanently blocked"
+                )
+        return violations
+
+    def admits_fault_plan(self, plan: FaultPlan) -> bool:
+        """True when *plan* leaves this scenario's assumption intact."""
+        return not self.fault_plan_violations(plan)
 
     def recommended_omega_config(self) -> OmegaConfig:
         """An :class:`~repro.core.config.OmegaConfig` whose time constants match the

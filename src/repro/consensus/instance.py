@@ -108,6 +108,16 @@ class ConsensusInstance:
         self.state.proposing = False
         self.state.phase = "idle"
 
+    def learn(self, env: Environment, value: Any) -> None:
+        """Learn *value* as the decision (catch-up path; idempotent).
+
+        Used when the decision is obtained out of band — from a
+        :class:`~repro.consensus.messages.CatchUpReply` — instead of from this
+        instance's own ``Decide`` broadcast.  Safe because a value offered for
+        catch-up was already decided at a quorum; learning cannot contradict it.
+        """
+        self._learn(env, value)
+
     # ------------------------------------------------------------------ dispatch --
     def on_message(self, env: Environment, sender: int, message: Message) -> None:
         """Process one consensus message addressed to this instance."""

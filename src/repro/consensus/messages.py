@@ -10,7 +10,7 @@ ballot ``b`` of proposer ``p`` in an ``n``-process system is encoded as
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from repro.core.interfaces import Message
 
@@ -101,3 +101,38 @@ class Forward(Message):
     @property
     def tag(self) -> str:
         return "FORWARD"
+
+
+@dataclasses.dataclass(frozen=True)
+class CatchUpRequest(Message):
+    """A replica asks a peer for decisions at positions >= ``frontier``.
+
+    Sent by non-leaders on every drive tick (to the process they currently
+    trust as leader).  In a steady-state run the leader has nothing newer and
+    stays silent; a replica that fell behind — it recovered from a crash, or sat
+    on the minority side of a partition while the majority kept deciding — is
+    answered with the decisions it missed.  This is what makes crash-recovery
+    and partition healing converge: ``Decide`` announcements are broadcast once
+    and are gone for whoever was not listening.
+    """
+
+    frontier: int
+
+    @property
+    def tag(self) -> str:
+        return "CATCHUP_REQ"
+
+
+@dataclasses.dataclass(frozen=True)
+class CatchUpReply(Message):
+    """Decided ``(position, value)`` pairs answering a :class:`CatchUpRequest`.
+
+    Bounded in size (the server sends at most a fixed number of positions per
+    reply); the requester's next drive tick asks again from its new frontier.
+    """
+
+    decisions: Tuple[Tuple[int, Any], ...]
+
+    @property
+    def tag(self) -> str:
+        return "CATCHUP_REP"

@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.consensus.commands import Batch, flatten_value
 from repro.consensus.instance import ConsensusInstance
-from repro.consensus.messages import Forward
+from repro.consensus.messages import CatchUpReply, CatchUpRequest, Forward
 from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
 from repro.util.validation import require_positive, validate_process_count
 
@@ -46,6 +46,10 @@ from repro.util.validation import require_positive, validate_process_count
 NOOP = "<noop>"
 
 _DRIVE_TIMER = "drive"
+
+#: Maximum decided positions shipped per CatchUpReply (bounds message size; the
+#: requester's next drive tick continues from its advanced frontier).
+CATCH_UP_BATCH = 16
 
 
 class _ValueIndex:
@@ -204,6 +208,13 @@ class ReplicatedLog(Process):
             ):
                 self.forwarded.append(message.value)
             return
+        if isinstance(message, CatchUpRequest):
+            self._serve_catch_up(env, sender, message.frontier)
+            return
+        if isinstance(message, CatchUpReply):
+            for position, value in message.decisions:
+                self._instance(position).learn(env, value)
+            return
         instance_id = getattr(message, "instance", None)
         if instance_id is None:
             raise TypeError(f"replicated log received unexpected {message!r}")
@@ -268,12 +279,42 @@ class ReplicatedLog(Process):
             return picked[0]
         return Batch(commands=tuple(picked))
 
+    def _serve_catch_up(self, env: Environment, sender: int, frontier: int) -> None:
+        """Answer a catch-up poll with decisions the requester is missing."""
+        if frontier > self._frontier:
+            # The requester is ahead of us — we cannot serve it, but its
+            # frontier just revealed that *we* are missing decisions.  Poll it
+            # back.  This is how a freshly restarted replica that trusts itself
+            # as leader (and therefore polls nobody) still catches up: its
+            # followers' routine polls carry their higher frontiers, and the
+            # poll-back turns them into servers.  No ping-pong: the poll-back
+            # carries a *lower* frontier, so the peer answers with data.
+            env.send(sender, CatchUpRequest(frontier=self._frontier))
+            return
+        if self._max_decided < frontier:
+            return  # nothing newer than the requester's frontier: stay silent
+        decisions: List[Any] = []
+        for position in range(frontier, self._max_decided + 1):
+            value = self.decisions.get(position)
+            if value is not None:
+                decisions.append((position, value))
+                if len(decisions) >= CATCH_UP_BATCH:
+                    break
+        if decisions:
+            env.send(sender, CatchUpReply(decisions=tuple(decisions)))
+
     def _drive(self, env: Environment) -> None:
         leader = self.oracle.leader()
         if leader != self.pid:
             # Not the leader: hand our pending commands to whoever is.
             for value in self.pending:
                 env.send(leader, Forward(value=value))
+            # Poll the leader for decisions we may have missed (a crashed-and-
+            # recovered replica restarts with an empty log; a replica on the
+            # minority side of a healed partition has holes).  The leader stays
+            # silent unless it actually has something newer, so the poll costs
+            # one small message per drive tick.
+            env.send(leader, CatchUpRequest(frontier=self._frontier))
             return
         position = self._next_position()
         value = self._candidate_value()

@@ -58,6 +58,20 @@ class OmegaConfig:
         test.  ``None`` disables garbage collection (faithful to the paper's
         pseudo-code, which keeps every round); the default keeps memory bounded in
         long benchmark runs without affecting any decision of the algorithm.
+    round_resync_gap:
+        Crash-recovery / partition extension (NOT part of the paper, whose model
+        is crash-stop with reliable links).  The line-8 round-closing rule waits
+        for ``alpha`` ALIVE messages of the *exact* current receiving round;
+        messages lost to a partition, or a peer whose sending round restarted
+        from 0 after a recovery, can therefore stall the receiving round forever
+        — freezing suspicion counting and, with it, leadership.  When set, a
+        process that observes an ALIVE whose round number exceeds its receiving
+        round by more than this gap fast-forwards to that round (broadcasting no
+        suspicions for the skipped rounds — conservative: skipping can only
+        *under*-suspect, never wrongly accuse).  ``None`` (the default) disables
+        resynchronisation and keeps the paper's exact semantics; fault plans
+        with partitions or recoveries enable it through
+        :meth:`~repro.simulation.faults.FaultPlan.needs_round_resync`.
     """
 
     alive_period: float = 1.0
@@ -68,6 +82,7 @@ class OmegaConfig:
     f: Optional[WindowFunction] = None
     g: Optional[TimeoutFunction] = None
     history_horizon: Optional[int] = 512
+    round_resync_gap: Optional[int] = None
 
     def __post_init__(self) -> None:
         require_positive(self.alive_period, "alive_period")
@@ -79,6 +94,10 @@ class OmegaConfig:
         if self.history_horizon is not None and self.history_horizon < 1:
             raise ValueError(
                 f"history_horizon must be >= 1 or None, got {self.history_horizon}"
+            )
+        if self.round_resync_gap is not None and self.round_resync_gap < 1:
+            raise ValueError(
+                f"round_resync_gap must be >= 1 or None, got {self.round_resync_gap}"
             )
 
     def effective_alpha(self, n: int, t: int) -> int:

@@ -95,6 +95,9 @@ class RotatingStarOmegaBase(Process, LeaderOracle):
         self.leader_history: List[tuple] = []
         #: Number of SUSPICION messages sent.
         self.suspicions_sent = 0
+        #: Number of receiving-round fast-forwards (crash-recovery extension;
+        #: always 0 unless ``config.round_resync_gap`` is set).
+        self.round_resyncs = 0
         #: Number of line-17 increments performed, per target process.
         self.level_increments: Dict[int, int] = {pid_: 0 for pid_ in process_ids}
 
@@ -161,8 +164,30 @@ class RotatingStarOmegaBase(Process, LeaderOracle):
         self.susp_level.merge_items(message.susp_level)
         if message.rn >= self.receiving_round:
             self.records.add_reception(message.rn, sender)
+            resync_gap = self.config.round_resync_gap
+            if (
+                resync_gap is not None
+                and message.rn - self.receiving_round > resync_gap
+            ):
+                self._resync_round(env, message.rn)
         self._record_leader(env)
         self._try_finish_round(env)
+
+    def _resync_round(self, env: Environment, rn: int) -> None:
+        """Fast-forward a stalled receiving round (crash-recovery extension).
+
+        The paper's line-8 rule cannot make progress when the ALIVE messages of
+        the current round were lost to a partition or pre-date a peer's
+        recovery; jumping to the observed round *rn* restores liveness.  No
+        SUSPICION is broadcast for the skipped rounds (we did not observe them,
+        so we accuse nobody), which keeps the suspicion-counting safety
+        unchanged.  Only runs when ``config.round_resync_gap`` is set.
+        """
+        self.round_resyncs += 1
+        env.log("round_resync", from_rn=self.receiving_round, to_rn=rn)
+        self.receiving_round = rn
+        self._arm_round_timer(env, self._timeout_value())
+        self._collect_garbage()
 
     # ------------------------------------------------------------------ lines 8-12 --
     def _on_round_timer(self, env: Environment, timer: TimerHandle) -> None:

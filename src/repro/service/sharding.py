@@ -15,8 +15,9 @@ given shard count.
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
-from typing import Callable, Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Tuple, Type
 
 from repro.assumptions.base import Scenario
 from repro.assumptions.scenarios import IntermittentRotatingStarScenario
@@ -26,6 +27,7 @@ from repro.core.omega_base import RotatingStarOmegaBase
 from repro.service.replica import ServiceReplica
 from repro.service.state_machine import KeyValueStore, StateMachine
 from repro.simulation.crash import CrashSchedule
+from repro.simulation.faults import DEFAULT_ROUND_RESYNC_GAP, FaultPlan
 from repro.simulation.scheduler import EventScheduler
 from repro.simulation.system import System, SystemConfig
 from repro.util.rng import RandomSource, derive_seed
@@ -58,7 +60,13 @@ class ShardedService:
         group (defaults to an intermittent rotating star with a per-shard seed and
         a rotating centre).
     crash_schedule_factory:
-        Optional callable ``shard -> CrashSchedule`` injecting per-shard crashes.
+        Optional callable ``shard -> CrashSchedule`` injecting per-shard crashes
+        (legacy adapter; converted to a pure crash-stop fault plan).
+    fault_plan_factory:
+        Optional callable ``shard -> FaultPlan`` injecting per-shard faults
+        (crashes, recoveries, partitions, link faults).  Mutually exclusive
+        with ``crash_schedule_factory``.  Plans that permanently break a
+        shard's assumption are recorded in :attr:`assumption_violations`.
     batch_size:
         Commands the shard leader packs into one consensus instance.
     seed:
@@ -72,6 +80,7 @@ class ShardedService:
         t: int,
         scenario_factory: Optional[Callable[[int], Scenario]] = None,
         crash_schedule_factory: Optional[Callable[[int], CrashSchedule]] = None,
+        fault_plan_factory: Optional[Callable[[int], FaultPlan]] = None,
         batch_size: int = 8,
         drive_period: float = 2.0,
         retry_period: float = 10.0,
@@ -80,6 +89,11 @@ class ShardedService:
         state_machine_factory: Callable[[], StateMachine] = KeyValueStore,
     ) -> None:
         require_positive(num_shards, "num_shards")
+        if crash_schedule_factory is not None and fault_plan_factory is not None:
+            raise ValueError(
+                "pass either crash_schedule_factory (legacy adapter) or "
+                "fault_plan_factory, not both"
+            )
         self.num_shards = int(num_shards)
         self.n = n
         self.t = t
@@ -88,9 +102,13 @@ class ShardedService:
         self.router = ShardRouter(num_shards)
         self.scheduler = EventScheduler()
         self.systems: List[System] = []
-        # Per-shard correct-replica lists; static (crash schedules are fixed at
-        # construction) and read by every client poll, so built lazily once.
-        self._correct_replicas_cache: Dict[int, List[ServiceReplica]] = {}
+        #: shard -> descriptions of how its fault plan permanently breaks the
+        #: shard's assumption (empty lists when every plan is assumption-safe).
+        self.assumption_violations: Dict[int, List[str]] = {}
+        # Per-shard correct-replica lists, keyed by the shard system's fault
+        # epoch: a Recover event replaces algorithm objects, so the cache must
+        # be refreshed whenever the fault state changes — see correct_replicas().
+        self._correct_replicas_cache: Dict[int, Tuple[int, List[ServiceReplica]]] = {}
 
         if scenario_factory is None:
             scenario_factory = self._default_scenario_factory()
@@ -103,11 +121,26 @@ class ShardedService:
                     f"t={scenario.t}), expected (n={n}, t={t})"
                 )
             omega_config = scenario.recommended_omega_config()
-            crash_schedule = (
-                crash_schedule_factory(shard)
-                if crash_schedule_factory is not None
-                else CrashSchedule.none()
+            if fault_plan_factory is not None:
+                fault_plan = fault_plan_factory(shard)
+            elif crash_schedule_factory is not None:
+                fault_plan = FaultPlan.crash_stop(crash_schedule_factory(shard))
+            else:
+                fault_plan = FaultPlan.none()
+            self.assumption_violations[shard] = scenario.fault_plan_violations(
+                fault_plan
             )
+            if (
+                fault_plan.needs_round_resync()
+                and omega_config.round_resync_gap is None
+            ):
+                # Partitions / recoveries can stall the paper's exact-round
+                # closing rule; enable the crash-recovery round fast-forward.
+                # Pure crash-stop plans skip this, staying byte-identical to
+                # the legacy crash-schedule path.
+                omega_config = dataclasses.replace(
+                    omega_config, round_resync_gap=DEFAULT_ROUND_RESYNC_GAP
+                )
 
             def factory(pid: int, _config=omega_config) -> ServiceReplica:
                 return ServiceReplica(
@@ -127,7 +160,7 @@ class ShardedService:
                     config=SystemConfig(n=n, t=t, seed=derive_seed(seed, "shard", shard)),
                     process_factory=factory,
                     delay_model=scenario.build_delay_model(),
-                    crash_schedule=crash_schedule,
+                    fault_plan=fault_plan,
                     scheduler=self.scheduler,
                 )
             )
@@ -191,17 +224,23 @@ class ShardedService:
         return [shell.algorithm for shell in self.systems[shard].shells]
 
     def correct_replicas(self, shard: int) -> List[ServiceReplica]:
-        """Return the replicas of *shard* that never crash under its schedule.
+        """Return the replicas of *shard* that are eventually up under its plan.
 
-        Cached (the schedule is static); callers must not mutate the list.
+        Cached per fault epoch, not once: a ``Recover`` event rebuilds a
+        replica's algorithm object from its initial state, so a permanent cache
+        would keep handing out the dead pre-crash object.  The cache is
+        invalidated whenever the shard system's fault state changes (crash,
+        recovery, run-time injection) and rebuilt on the next read.  Callers
+        must not mutate the list.
         """
+        system = self.systems[shard]
+        epoch = system.fault_epoch
         cached = self._correct_replicas_cache.get(shard)
-        if cached is None:
-            cached = [
-                shell.algorithm for shell in self.systems[shard].correct_shells()
-            ]
-            self._correct_replicas_cache[shard] = cached
-        return cached
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        replicas = [shell.algorithm for shell in system.correct_shells()]
+        self._correct_replicas_cache[shard] = (epoch, replicas)
+        return replicas
 
     def reference_replica(self, shard: int) -> ServiceReplica:
         """A correct replica used for shard-level reporting."""
@@ -267,7 +306,8 @@ def build_sharded_service(
     ``crashes_per_shard`` > 0 injects that many random crashes (at most ``t``) per
     shard at uniform times in ``[0, crash_horizon]``, protecting each shard's star
     centre so the liveness assumption keeps holding.  An explicit
-    ``crash_schedule_factory`` keyword overrides the random schedules.
+    ``crash_schedule_factory`` or ``fault_plan_factory`` keyword overrides the
+    random schedules.
     """
     service_seed = seed
 
@@ -283,7 +323,8 @@ def build_sharded_service(
             protect=[shard % n],
         )
 
-    kwargs.setdefault("crash_schedule_factory", crash_factory)
+    if kwargs.get("fault_plan_factory") is None:
+        kwargs.setdefault("crash_schedule_factory", crash_factory)
     return ShardedService(
         num_shards=num_shards,
         n=n,

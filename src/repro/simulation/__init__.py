@@ -2,11 +2,25 @@
 
 The substrate the paper's algorithms run on in this reproduction: a virtual-time
 event scheduler, a reliable non-FIFO network with pluggable per-message delay models,
-process shells enforcing crash-stop semantics, and a system builder tying them
-together.
+process shells enforcing crash (and crash-recovery) semantics, a composable
+fault-plan engine (:mod:`repro.simulation.faults`), and a system builder tying
+them together.
 """
 
 from repro.simulation.crash import CrashSchedule
+from repro.simulation.faults import (
+    Crash,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    LinkHeal,
+    LinkState,
+    PartitionHeal,
+    PartitionStart,
+    Recover,
+    SlowProcess,
+)
 from repro.simulation.delays import (
     ConstantDelay,
     DelayModel,
@@ -26,6 +40,7 @@ from repro.simulation.system import ProcessFactory, System, SystemConfig
 
 __all__ = [
     "ConstantDelay",
+    "Crash",
     "CrashSchedule",
     "DelayModel",
     "Envelope",
@@ -33,14 +48,24 @@ __all__ = [
     "EventQueue",
     "EventScheduler",
     "ExponentialDelay",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "HeavyTailDelay",
+    "LinkFault",
+    "LinkHeal",
+    "LinkState",
     "MessageContext",
     "Network",
     "NetworkStats",
     "PartiallySynchronousDelay",
+    "PartitionHeal",
+    "PartitionStart",
     "PerLinkDelay",
     "ProcessFactory",
+    "Recover",
     "SimProcessShell",
+    "SlowProcess",
     "System",
     "SystemConfig",
     "TagFilteredDelay",

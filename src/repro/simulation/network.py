@@ -220,6 +220,10 @@ class Network:
         self._is_alive: Dict[int, LivenessCallback] = {}
         self._msg_ids = itertools.count(1)
         self._registered_ids: List[int] = []
+        # Reachability/quality matrix; installed by the fault injector only when
+        # the fault plan contains topology events, so fault-free and pure
+        # crash-stop runs pay a single ``is None`` check per message.
+        self._link_state = None
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------ wiring --
@@ -237,6 +241,21 @@ class Network:
     def registered_ids(self) -> list:
         """Return the registered process ids (sorted; cached at registration)."""
         return list(self._registered_ids)
+
+    def install_link_state(self, link_state) -> None:
+        """Install the :class:`~repro.simulation.faults.LinkState` matrix.
+
+        From this call on, every send consults *link_state* before the delay
+        model draws a delay: unreachable destinations drop the message without a
+        draw, and reachable ones have their drawn delay transformed (inflation,
+        probabilistic loss on faulted links).
+        """
+        self._link_state = link_state
+
+    @property
+    def link_state(self):
+        """The installed link-state matrix, or ``None`` (healthy topology)."""
+        return self._link_state
 
     # ------------------------------------------------------------------ transport --
     def send(self, sender: int, dest: int, message: Message) -> Optional[Envelope]:
@@ -295,7 +314,25 @@ class Network:
 
         ``record_sent`` has already been done by the caller (once per destination
         for :meth:`send`, in bulk for :meth:`broadcast`).
+
+        Reachability is decided here, at send time: a message blocked by the
+        current partition / link cut is lost even if the fault heals before the
+        delay model would have delivered it, and a message already in flight
+        when a fault starts is unaffected.
         """
+        link_state = self._link_state
+        if link_state is not None and not link_state.reachable(sender, dest):
+            self.stats.record_dropped(tag)
+            if self._tracer is not None:
+                self._tracer.record(
+                    send_time,
+                    sender,
+                    "message_dropped",
+                    tag=tag,
+                    dest=dest,
+                    reason="unreachable",
+                )
+            return None
         delay = self.delay_model.delay(
             MessageContext(
                 sender=sender,
@@ -305,6 +342,8 @@ class Network:
                 send_time=send_time,
             )
         )
+        if delay is not None and link_state is not None:
+            delay = link_state.adjust(sender, dest, delay)
         if delay is None:
             self.stats.record_dropped(tag)
             if self._tracer is not None:

@@ -3,9 +3,12 @@
 :class:`SimProcessShell` is the simulator-side implementation of
 :class:`~repro.core.interfaces.Environment`.  One shell wraps one
 :class:`~repro.core.interfaces.Process` (the algorithm), gives it its identity, its
-timers, its links and its local randomness, and enforces the crash-stop failure
-model: once :meth:`crash` has been called the process takes no further steps — no
-timer fires, no message is delivered, nothing is sent.
+timers, its links and its local randomness, and enforces the failure model: once
+:meth:`crash` has been called the process takes no further steps — no timer fires,
+no message is delivered, nothing is sent — until (in crash-recovery plans) the
+fault injector calls :meth:`recover` with a freshly built algorithm object, which
+restarts the process from its initial state under a new *incarnation*.  Timers
+armed by a previous incarnation never fire after a recovery.
 
 Hot-path design
 ---------------
@@ -30,6 +33,8 @@ from repro.util.validation import require_non_negative
 
 #: Attribute attached to a TimerHandle holding its scheduler event (see set_timer).
 _SIM_EVENT_ATTR = "_sim_event"
+#: Attribute attached to a TimerHandle naming the incarnation that armed it.
+_SIM_INCARNATION_ATTR = "_sim_incarnation"
 
 
 class SimProcessShell(Environment):
@@ -58,7 +63,12 @@ class SimProcessShell(Environment):
         self.crashed = False
         self.crash_time: Optional[float] = None
         self.started = False
-        #: Number of messages this process has sent / received (handler deliveries).
+        #: Number of completed recoveries; 0 in every crash-stop run.  Doubles as
+        #: the current incarnation number: timers armed by incarnation ``k`` are
+        #: silently discarded once a recovery moves the shell to ``k+1``.
+        self.recoveries = 0
+        #: Number of messages this process has sent / received (handler deliveries);
+        #: cumulative across incarnations.
         self.messages_sent = 0
         self.messages_received = 0
 
@@ -111,6 +121,27 @@ class SimProcessShell(Environment):
         self.log("process_crashed")
         self.algorithm.on_crash(self)
 
+    def recover(self, algorithm: Process) -> None:
+        """Restart the crashed process with the freshly built *algorithm*.
+
+        Models crash recovery without stable storage: the new incarnation starts
+        from the algorithm's initial state (the system rebuilds it through the
+        process factory).  Timers armed before the crash are lazily discarded by
+        the incarnation check in :meth:`_fire_timer`; messages that were in
+        flight towards this process when it was down are delivered to the new
+        incarnation if their delivery time falls after the recovery (the link
+        held them), exactly like messages sent to a process that never crashed.
+        """
+        if not self.crashed:
+            return
+        self.recoveries += 1
+        self.crashed = False
+        self.crash_time = None
+        self.algorithm = algorithm
+        self.started = True
+        self.log("process_recovered", incarnation=self.recoveries)
+        algorithm.on_start(self)
+
     def stop(self) -> None:
         """Notify the algorithm that the run is over (correct processes only)."""
         if not self.crashed:
@@ -156,6 +187,11 @@ class SimProcessShell(Environment):
             _SIM_EVENT_ATTR,
             self._scheduler.schedule_after(delay, self._fire_timer, handle),
         )
+        if self.recoveries:
+            # Only recovered shells stamp the incarnation: crash-stop runs skip
+            # the extra setattr, and pre-recovery handles simply lack the
+            # attribute (read back as incarnation 0 by _fire_timer).
+            setattr(handle, _SIM_INCARNATION_ATTR, self.recoveries)
         return handle
 
     def cancel_timer(self, handle: TimerHandle) -> None:
@@ -166,6 +202,9 @@ class SimProcessShell(Environment):
 
     def _fire_timer(self, handle: TimerHandle) -> None:
         if self.crashed or handle.cancelled:
+            return
+        if self.recoveries and getattr(handle, _SIM_INCARNATION_ATTR, 0) != self.recoveries:
+            # Armed by a previous incarnation; the recovery reset the algorithm.
             return
         self.algorithm.on_timer(self, handle)
 

@@ -2,8 +2,10 @@
 
 A :class:`System` wires together the scheduler, the network (with a delay model that
 typically comes from a :class:`~repro.assumptions.base.Scenario`), one
-:class:`~repro.simulation.process.SimProcessShell` per process, and a crash schedule.
-It is the object every test, example and benchmark drives:
+:class:`~repro.simulation.process.SimProcessShell` per process, and a fault plan
+(crashes, recoveries, partitions, link faults — see
+:mod:`repro.simulation.faults`; the legacy ``crash_schedule=`` keyword remains as
+a thin adapter).  It is the object every test, example and benchmark drives:
 
 >>> system = System(SystemConfig(n=5, t=2, seed=7), factory, delay_model)
 >>> system.run_until(500.0)
@@ -19,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.interfaces import LeaderOracle, Process
 from repro.simulation.crash import CrashSchedule
 from repro.simulation.delays import DelayModel
+from repro.simulation.faults import FaultInjector, FaultPlan, LinkState
 from repro.simulation.network import Network, NetworkStats
 from repro.simulation.process import SimProcessShell
 from repro.simulation.scheduler import EventScheduler
@@ -68,10 +71,21 @@ class System:
         crash_schedule: Optional[CrashSchedule] = None,
         tracer: Optional[object] = None,
         scheduler: Optional[EventScheduler] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
+        if crash_schedule is not None and fault_plan is not None:
+            raise ValueError(
+                "pass either crash_schedule= (legacy adapter) or fault_plan=, not both"
+            )
         self.config = config
-        self.crash_schedule = crash_schedule or CrashSchedule.none()
-        self.crash_schedule.validate(config.n, config.t)
+        if fault_plan is None:
+            fault_plan = FaultPlan.crash_stop(crash_schedule or CrashSchedule.none())
+        self.fault_plan = fault_plan
+        self.fault_plan.validate(config.n, config.t)
+        # Legacy crash_schedule view: derived lazily per fault epoch (see the
+        # property) so run-time injected crashes show up in it.
+        self._crash_schedule_view: Optional[CrashSchedule] = None
+        self._crash_schedule_view_epoch = -1
         self.tracer = tracer
 
         # An externally supplied scheduler lets several independent systems (e.g.
@@ -80,11 +94,15 @@ class System:
         self.scheduler = scheduler if scheduler is not None else EventScheduler()
         self.network = Network(self.scheduler, delay_model, tracer=tracer)
         self._master_rng = RandomSource(config.seed, label="system")
+        self._process_factory = process_factory
 
         process_ids = list(range(config.n))
-        # The crash schedule is fixed at construction, so the correct-shell set is
-        # static; computed lazily once (client polls read it on the hot path).
+        # The correct-shell set is derived from the fault plan; since the plan can
+        # gain events at run time (Recover, injector.inject) the cache is keyed by
+        # a fault epoch rather than computed once — see correct_shells().
+        self._fault_epoch = 0
         self._correct_shells_cache: Optional[List[SimProcessShell]] = None
+        self._correct_cache_epoch = -1
         self.shells: List[SimProcessShell] = []
         for pid in process_ids:
             algorithm = process_factory(pid)
@@ -108,9 +126,8 @@ class System:
             )
             self.scheduler.schedule_at(offset, shell.start)
 
-        for pid, crash_time in self.crash_schedule.items():
-            shell = self.shells[pid]
-            self.scheduler.schedule_at(crash_time, shell.crash)
+        self.injector = FaultInjector(self, self.fault_plan)
+        self.injector.schedule_plan()
 
     # ------------------------------------------------------------------ execution --
     @property
@@ -132,6 +149,62 @@ class System:
         for shell in self.shells:
             shell.stop()
 
+    # ------------------------------------------------------------------ faults --
+    @property
+    def crash_schedule(self) -> CrashSchedule:
+        """Legacy view of the fault plan: each eventually-down process at its
+        final crash time (``faulty_ids()``, ``correct_ids()``, ...).
+
+        Derived from the plan per fault epoch rather than frozen at
+        construction, so crashes injected at run time (:meth:`inject_fault`)
+        are reflected — experiment summaries read the crashed set from here.
+        """
+        epoch = self._fault_epoch
+        if self._crash_schedule_view is None or self._crash_schedule_view_epoch != epoch:
+            self._crash_schedule_view = self.fault_plan.to_crash_schedule()
+            self._crash_schedule_view_epoch = epoch
+        return self._crash_schedule_view
+
+    @property
+    def fault_epoch(self) -> int:
+        """Monotone counter bumped whenever the fault state of the system changes:
+        a crash or recovery is applied, a topology event (partition, link fault,
+        slowdown) starts or heals — including ``until``-window auto-heals — or an
+        event is injected at run time.  Cached views derived from the correct set
+        or the topology key themselves on it."""
+        return self._fault_epoch
+
+    @property
+    def link_state(self) -> Optional[LinkState]:
+        """The live link-state matrix, or ``None`` when the topology is healthy
+        (no partition / link-fault event in the plan)."""
+        return self.injector.link_state
+
+    def inject_fault(self, event) -> None:
+        """Inject a :class:`~repro.simulation.faults.FaultEvent` at run time."""
+        self.injector.inject(event)
+
+    def _bump_fault_epoch(self) -> None:
+        self._fault_epoch += 1
+
+    def _apply_crash(self, pid: int) -> None:
+        """Crash *pid* (called by the fault injector)."""
+        self.shells[pid].crash()
+        self._fault_epoch += 1
+
+    def _apply_recover(self, pid: int) -> None:
+        """Recover *pid* with a freshly built algorithm (called by the injector).
+
+        The new incarnation starts from the algorithm's initial state; every
+        cached view holding the old algorithm object (e.g. a sharded service's
+        ``correct_replicas``) is invalidated through the fault epoch.
+        """
+        shell = self.shells[pid]
+        if not shell.crashed:
+            return
+        shell.recover(self._process_factory(pid))
+        self._fault_epoch += 1
+
     # ------------------------------------------------------------------ accessors --
     def shell(self, pid: int) -> SimProcessShell:
         """Return the shell of process *pid*."""
@@ -142,24 +215,28 @@ class System:
         return [shell for shell in self.shells if not shell.crashed]
 
     def correct_shells(self) -> List[SimProcessShell]:
-        """Return the shells of processes that never crash under the schedule.
+        """Return the shells of the processes that are *correct* under the plan.
 
-        The result is computed once and reused (the schedule is immutable); the
-        returned list must not be mutated by callers.
+        Correct means eventually up: the process either never crashes or its
+        last crash is followed by a recovery — for pure crash-stop plans this is
+        exactly "never crashes", as before.  The result is cached per fault
+        epoch, **not** computed once: a :class:`~repro.simulation.faults.Recover`
+        event or a run-time ``inject_fault`` changes the correct set, and the
+        cache is refreshed on the next read after any such change.  The returned
+        list must not be mutated by callers.
         """
-        cached = self._correct_shells_cache
-        if cached is None:
-            cached = [
-                shell
-                for shell in self.shells
-                if self.crash_schedule.is_correct(shell.pid)
+        epoch = self._fault_epoch
+        if self._correct_cache_epoch != epoch:
+            correct = set(self.fault_plan.correct_ids(self.config.n))
+            self._correct_shells_cache = [
+                shell for shell in self.shells if shell.pid in correct
             ]
-            self._correct_shells_cache = cached
-        return cached
+            self._correct_cache_epoch = epoch
+        return self._correct_shells_cache
 
     def correct_ids(self) -> List[int]:
-        """Return the ids of the processes that never crash under the schedule."""
-        return self.crash_schedule.correct_ids(self.config.n)
+        """Return the ids of the processes that are eventually up under the plan."""
+        return self.fault_plan.correct_ids(self.config.n)
 
     def algorithms(self) -> Dict[int, Process]:
         """Return a mapping pid -> algorithm object."""

@@ -15,6 +15,7 @@ from repro.core.config import OmegaConfig
 from repro.core.figure3 import Figure3Omega
 from repro.core.omega_base import RotatingStarOmegaBase
 from repro.simulation.crash import CrashSchedule
+from repro.simulation.faults import FaultPlan
 from repro.simulation.system import System, SystemConfig
 
 __all__ = ["build_consensus_system", "build_omega_system"]
@@ -29,6 +30,7 @@ def build_omega_system(
     crash_schedule: Optional[CrashSchedule] = None,
     seed: int = 0,
     tracer: Optional[object] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> System:
     """Build a system in which every process runs one of the paper's Omega algorithms.
 
@@ -44,9 +46,12 @@ def build_omega_system(
     config:
         Algorithm configuration override.
     crash_schedule:
-        Crash injection plan (failure-free by default).
+        Crash injection plan (failure-free by default; legacy adapter).
     seed:
         Master seed of the run.
+    fault_plan:
+        Full fault plan (crashes, recoveries, partitions, link faults);
+        mutually exclusive with ``crash_schedule``.
     """
     if (n, t) != (scenario.n, scenario.t):
         raise ValueError(
@@ -62,7 +67,8 @@ def build_omega_system(
         config=SystemConfig(n=n, t=t, seed=seed),
         process_factory=factory,
         delay_model=scenario.build_delay_model(),
-        crash_schedule=crash_schedule or CrashSchedule.none(),
+        crash_schedule=crash_schedule,
+        fault_plan=fault_plan,
         tracer=tracer,
     )
 
@@ -78,6 +84,7 @@ def build_consensus_system(
     drive_period: float = 2.0,
     batch_size: int = 1,
     tracer: Optional[object] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> System:
     """Build a system in which every process runs the Omega + replicated-log stack.
 
@@ -108,6 +115,7 @@ def build_consensus_system(
         config=SystemConfig(n=n, t=t, seed=seed),
         process_factory=factory,
         delay_model=scenario.build_delay_model(),
-        crash_schedule=crash_schedule or CrashSchedule.none(),
+        crash_schedule=crash_schedule,
+        fault_plan=fault_plan,
         tracer=tracer,
     )

@@ -162,3 +162,65 @@ class TestSummarizeLevels:
 
     def test_values(self):
         assert summarize_levels({0: {0: 1, 1: 5}, 1: {0: 2, 1: 0}}) == {"max": 5, "min": 0}
+
+
+class TestPartitionAwareMetrics:
+    def _partitioned_system(self):
+        from repro.core import OmegaConfig
+        from repro.simulation import ConstantDelay, FaultPlan, System, SystemConfig
+
+        plan = FaultPlan.split_brain([[0, 1]], at=10.0, heal_at=60.0)
+        plan.extend(FaultPlan.crashes({3: 20.0}).events)
+        return System(
+            SystemConfig(n=5, t=1, seed=0),
+            lambda pid: Figure3Omega(pid=pid, n=5, t=1, config=OmegaConfig()),
+            ConstantDelay(0.2),
+            fault_plan=plan,
+        )
+
+    def test_single_component_when_no_partition(self):
+        from repro.analysis.metrics import reachable_components
+
+        scenario = EventualTSourceScenario(n=4, t=1, seed=1)
+        system = build_system(scenario, Figure3Omega, seed=1)
+        system.run_until(20.0)
+        assert reachable_components(system) == [[0, 1, 2, 3]]
+
+    def test_components_follow_partition_and_crashes(self):
+        from repro.analysis.metrics import reachable_components
+
+        system = self._partitioned_system()
+        system.run_until(30.0)  # partition active, process 3 crashed
+        assert reachable_components(system) == [[0, 1], [2, 4]]
+        system.run_until(70.0)  # healed
+        assert reachable_components(system) == [[0, 1, 2, 4]]
+
+    def test_component_leaders_and_agreement(self):
+        from repro.analysis.metrics import (
+            component_agreed_leaders,
+            component_leaders,
+        )
+
+        system = self._partitioned_system()
+        system.run_until(55.0)  # long enough for each side to settle
+        per_component = component_leaders(system)
+        assert [sorted(outputs) for outputs in per_component] == [[0, 1], [2, 4]]
+        agreed = component_agreed_leaders(system)
+        assert len(agreed) == 2
+
+    def test_availability_sampler_tracks_crash_recovery(self):
+        from repro.analysis.metrics import AvailabilitySampler
+        from repro.core import OmegaConfig
+        from repro.simulation import ConstantDelay, FaultPlan, System, SystemConfig
+
+        plan = FaultPlan.rolling_restarts([1], start=10.0, downtime=20.0)
+        system = System(
+            SystemConfig(n=4, t=1, seed=0),
+            lambda pid: Figure3Omega(pid=pid, n=4, t=1, config=OmegaConfig()),
+            ConstantDelay(0.2),
+            fault_plan=plan,
+        )
+        sampler = AvailabilitySampler(system, interval=5.0)
+        system.run_until(40.0)
+        assert sampler.min_alive() == 3
+        assert 0.75 < sampler.availability() < 1.0

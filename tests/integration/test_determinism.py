@@ -14,14 +14,25 @@ covered by ``benchmarks/bench_perf.py``, whose run fingerprints are compared
 against the committed ``benchmarks/perf_baseline.json``.
 """
 
+import hashlib
+import json
+
 from repro.core.figure3 import Figure3Omega
 from repro.service import build_sharded_service, start_clients, zipfian_workload
+from repro.simulation.crash import CrashSchedule
 from repro.simulation.delays import UniformDelay
+from repro.simulation.faults import FaultPlan
 from repro.simulation.system import System, SystemConfig
 from repro.util.rng import RandomSource
 
 SEED = 20260730
 HORIZON = 80.0
+
+
+def _sha256(payload) -> str:
+    """The same digest shape bench_perf.py uses for its run fingerprints."""
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
 
 
 def _omega_run():
@@ -69,6 +80,39 @@ def _service_run():
     }
 
 
+def _faulty_service_run():
+    """A sharded service under a composed fault plan (recovery + partition)."""
+    service = build_sharded_service(
+        num_shards=2,
+        n=3,
+        t=1,
+        seed=SEED,
+        batch_size=4,
+        fault_plan_factory=lambda shard: FaultPlan.rolling_restarts(
+            [(shard % 3 + 1) % 3], start=20.0, downtime=15.0
+        ).extend(
+            FaultPlan.split_brain(
+                [[(shard % 3 + 2) % 3]], at=60.0, heal_at=90.0
+            ).events
+        ),
+    )
+    clients = start_clients(
+        service,
+        num_clients=8,
+        workload_factory=lambda i: zipfian_workload(num_keys=16),
+    )
+    service.run_until(200.0)
+    return {
+        "executed": service.scheduler.executed,
+        "committed": sum(client.stats.completed for client in clients),
+        "digests": {
+            shard: service.state_digests(shard, correct_only=False)
+            for shard in range(service.num_shards)
+        },
+        "consistent": service.is_consistent(),
+    }
+
+
 class TestDeterminism:
     def test_omega_run_is_reproducible(self):
         first = _omega_run()
@@ -81,3 +125,48 @@ class TestDeterminism:
         assert first == second
         assert first["consistent"]
         assert first["committed"] > 0
+
+    def test_faulty_service_run_is_reproducible_and_converges(self):
+        """Same seed + same FaultPlan ⇒ identical runs, even under churn."""
+        first = _faulty_service_run()
+        second = _faulty_service_run()
+        assert _sha256(first) == _sha256(second)
+        assert first == second
+        # Post-heal, post-restart: every replica of every shard identical.
+        assert first["consistent"]
+        assert all(
+            len(set(digests)) == 1 for digests in first["digests"].values()
+        )
+
+
+class TestCrashStopPlanEquivalence:
+    def test_crash_only_plan_fingerprint_matches_crash_schedule(self):
+        """Acceptance criterion: a FaultPlan of only Crash events is
+        byte-identical (same SHA-256 run fingerprint) to the equivalent legacy
+        CrashSchedule on the seeded omega-broadcast workload."""
+        n, t = 6, 2
+        schedule = CrashSchedule({4: 25.0, 1: 55.0})
+
+        def fingerprint(**kwargs):
+            system = System(
+                SystemConfig(n=n, t=t, seed=SEED),
+                lambda pid: Figure3Omega(pid=pid, n=n, t=t),
+                UniformDelay(0.5, 2.0, RandomSource(SEED, label="equivalence")),
+                **kwargs,
+            )
+            system.run_until(150.0)
+            return _sha256(
+                {
+                    "leader_histories": {
+                        shell.pid: shell.algorithm.leader_history
+                        for shell in system.shells
+                    },
+                    "sent_by_tag": dict(system.stats.sent_by_tag),
+                    "total_delivered": system.stats.total_delivered,
+                    "executed": system.scheduler.executed,
+                }
+            )
+
+        legacy = fingerprint(crash_schedule=schedule)
+        planned = fingerprint(fault_plan=FaultPlan.crash_stop(schedule))
+        assert legacy == planned

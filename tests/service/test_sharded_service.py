@@ -149,3 +149,96 @@ class TestClosedLoopClients:
                 for seq in seqs
             }
         assert len(applied_identities) == summary.committed
+
+
+class TestFaultPlans:
+    def test_correct_replicas_cache_refreshed_after_recover(self):
+        """Regression: a Recover event rebuilds the replica's algorithm object;
+        a permanent correct_replicas cache would keep handing out the dead
+        pre-crash object (PR 2 assumed the correct set was static)."""
+        from repro.simulation import FaultPlan
+
+        service = build_sharded_service(
+            num_shards=1, n=3, t=1, seed=6, batch_size=4,
+            fault_plan_factory=lambda shard: FaultPlan.rolling_restarts(
+                [1], start=10.0, downtime=15.0
+            ),
+        )
+        # Recovered processes count as correct (eventually up): all 3 replicas.
+        before = service.correct_replicas(0)
+        assert len(before) == 3
+        stale = before[1]
+        service.run_until(30.0)  # crash at 10, recover at 25
+        after = service.correct_replicas(0)
+        assert len(after) == 3
+        assert after[1] is not stale  # fresh incarnation, cache was refreshed
+        assert after[1] is service.systems[0].shells[1].algorithm
+
+    def test_recovered_replica_converges_to_shard_state(self):
+        from repro.simulation import FaultPlan
+
+        service = build_sharded_service(
+            num_shards=1, n=3, t=1, seed=13, batch_size=4,
+            fault_plan_factory=lambda shard: FaultPlan.rolling_restarts(
+                [1], start=20.0, downtime=20.0
+            ),
+        )
+        commands = [Command.put("c", seq, f"k{seq}", seq) for seq in range(1, 21)]
+        for command in commands:
+            service.submit(command)
+        service.run_until(400.0)
+        # The recovered replica restarted from an empty state machine and must
+        # have caught up through the replicated log: every replica identical.
+        digests = service.state_digests(0, correct_only=False)
+        assert len(set(digests)) == 1
+        assert service.reference_replica(0).command_applied("c", 20)
+
+    def test_fault_plan_and_crash_schedule_factories_are_exclusive(self):
+        from repro.service import ShardedService
+        from repro.simulation import FaultPlan
+        from repro.simulation.crash import CrashSchedule
+
+        with pytest.raises(ValueError, match="not both"):
+            ShardedService(
+                num_shards=1, n=3, t=1,
+                crash_schedule_factory=lambda s: CrashSchedule.none(),
+                fault_plan_factory=lambda s: FaultPlan.none(),
+            )
+
+    def test_assumption_violations_reported_per_shard(self):
+        from repro.simulation import FaultPlan
+
+        # Default scenario of shard 0 has centre 0; permanently crashing it
+        # breaks the star assumption and must be reported, not silently run.
+        service = build_sharded_service(
+            num_shards=1, n=3, t=1, seed=2,
+            fault_plan_factory=lambda shard: FaultPlan.crashes({0: 10.0}),
+        )
+        assert service.assumption_violations[0]
+        healthy = build_sharded_service(
+            num_shards=1, n=3, t=1, seed=2,
+            fault_plan_factory=lambda shard: FaultPlan.rolling_restarts(
+                [1], start=10.0, downtime=10.0
+            ),
+        )
+        assert healthy.assumption_violations[0] == []
+
+    def test_round_resync_enabled_only_for_plans_that_need_it(self):
+        from repro.simulation import FaultPlan
+        from repro.simulation.faults import DEFAULT_ROUND_RESYNC_GAP
+
+        faulty = build_sharded_service(
+            num_shards=1, n=3, t=1, seed=1,
+            fault_plan_factory=lambda shard: FaultPlan.rolling_restarts(
+                [1], start=10.0, downtime=10.0
+            ),
+        )
+        omega = faulty.replicas(0)[0].omega
+        assert omega.config.round_resync_gap == DEFAULT_ROUND_RESYNC_GAP
+        # Pure crash-stop plans keep the paper's exact semantics (and stay
+        # byte-identical to the legacy crash-schedule path).
+        crash_stop = build_sharded_service(
+            num_shards=1, n=3, t=1, seed=1,
+            fault_plan_factory=lambda shard: FaultPlan.crashes({1: 10.0}),
+        )
+        assert crash_stop.replicas(0)[0].omega.config.round_resync_gap is None
