@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Documentation consistency checks (run by the CI ``docs`` job).
+
+Two classes of drift have bitten this repository before: markdown links that
+point at files which were later moved, and the README's examples table falling
+out of sync with ``examples/*.py``.  This script fails the build on either:
+
+* every *relative* markdown link target in ``README.md`` and ``docs/*.md``
+  must exist on disk (http(s) links and pure anchors are not checked — CI
+  must not depend on the network);
+* every ``examples/*.py`` script must be mentioned in the README's
+  "Examples" table, and every script the table mentions must exist.
+
+Usage::
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target); images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Example scripts referenced anywhere in a document.
+_EXAMPLE_REF = re.compile(r"examples/([A-Za-z0-9_]+\.py)")
+
+
+def check_links(path: Path) -> list:
+    """Return 'broken link' error strings for relative link targets in *path*."""
+    errors = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return errors
+
+
+def _examples_table_rows(text: str) -> list:
+    """The markdown table rows of the README's ``## Examples`` section."""
+    in_section = False
+    rows = []
+    for line in text.splitlines():
+        if line.startswith("## "):
+            in_section = line.strip().lower() == "## examples"
+            continue
+        if in_section and line.lstrip().startswith("|"):
+            rows.append(line)
+    return rows
+
+
+def check_examples_table(readme: Path) -> list:
+    """The README examples *table* and the examples/ directory must agree.
+
+    Completeness is checked against the table rows only — a prose mention
+    elsewhere in the README must not mask a script missing from the table.
+    Phantom references are checked document-wide, so stale prose fails too.
+    """
+    errors = []
+    text = readme.read_text(encoding="utf-8")
+    on_disk = {p.name for p in (REPO_ROOT / "examples").glob("*.py")}
+    rows = _examples_table_rows(text)
+    if not rows:
+        return ['README.md: no "## Examples" section with a table found']
+    in_table = set()
+    for row in rows:
+        in_table.update(_EXAMPLE_REF.findall(row))
+    for missing in sorted(on_disk - in_table):
+        errors.append(
+            f"README.md: examples/{missing} exists but is not documented "
+            "in the Examples table"
+        )
+    for phantom in sorted(set(_EXAMPLE_REF.findall(text)) - on_disk):
+        errors.append(
+            f"README.md: references examples/{phantom}, which does not exist"
+        )
+    return errors
+
+
+def main() -> int:
+    documents = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    documents += sorted((REPO_ROOT / "docs").glob("*.md"))
+    errors = []
+    for document in documents:
+        if document.exists():
+            errors.extend(check_links(document))
+    errors.extend(check_examples_table(REPO_ROOT / "README.md"))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\n{len(errors)} documentation problem(s)", file=sys.stderr)
+        return 1
+    checked = ", ".join(str(d.relative_to(REPO_ROOT)) for d in documents if d.exists())
+    print(f"docs OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

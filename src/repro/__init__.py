@@ -68,6 +68,7 @@ from repro.assumptions import (
     Scenario,
 )
 from repro.simulation import (
+    CorruptLink,
     Crash,
     CrashSchedule,
     DelayModel,
@@ -132,6 +133,7 @@ __all__ = [
     "MessagePatternScenario",
     "Scenario",
     # simulation
+    "CorruptLink",
     "Crash",
     "CrashSchedule",
     "DelayModel",

@@ -122,6 +122,18 @@ class Scenario(abc.ABC):
                     f"link {sender}->{dest} involving a protected process is "
                     "permanently blocked"
                 )
+        for sender, dest in plan.final_corrupt_links():
+            # A fully corrupting unhealed link is the data-plane analogue of a
+            # blocked one: every payload crossing it is garbled and rejected at
+            # the receiving end, forever.  Probabilistic or bounded corruption
+            # is transient damage and stays admissible.
+            if (sender in protected or dest in protected) and (
+                sender in correct and dest in correct
+            ):
+                violations.append(
+                    f"link {sender}->{dest} involving a protected process "
+                    "permanently corrupts payloads"
+                )
         return violations
 
     def admits_fault_plan(self, plan: FaultPlan) -> bool:

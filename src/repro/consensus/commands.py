@@ -11,12 +11,32 @@ effects compare different (and are both ordered and applied).
 A :class:`Batch` groups many commands into a single consensus value so that one
 consensus instance (one Paxos round trip) orders many commands — the classic
 amortisation that turns a per-command protocol into a high-throughput log.
+
+Payload integrity
+-----------------
+Both envelopes carry a CRC-32 **checksum** over their payload, computed at
+construction.  The fault layer's corruption model
+(:mod:`repro.simulation.corruption`) tampers with command payloads *while
+preserving the stale checksum*, exactly like a bit-flip on the wire slips past a
+forwarding hop but not past an end-to-end check.  :func:`payload_intact` is the
+receive-side guard: the replicated log verifies every command-bearing message
+before processing it and rejects (drops) tampered deliveries, so a corrupted
+command can never be proposed, decided or applied — corruption degrades into
+message loss, which the indulgent consensus layer already tolerates.  The
+checksum is a deterministic function of the payload fields, so two honestly
+constructed copies of the same command still compare (and deduplicate) equal.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Tuple
+import zlib
+from typing import Any, Optional, Tuple
+
+
+def _crc32(payload: object) -> int:
+    """Stable CRC-32 of a payload's textual representation."""
+    return zlib.crc32(repr(payload).encode("utf-8"))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,6 +58,11 @@ class Command:
     args:
         Operation-specific arguments (must be hashable; commands travel inside
         frozen consensus messages).
+    checksum:
+        CRC-32 over the payload fields, filled in automatically at construction.
+        A command whose stored checksum does not match its recomputed one was
+        tampered with in flight (see :func:`payload_intact`); honest code never
+        passes ``checksum=`` explicitly.
     """
 
     client_id: str
@@ -45,6 +70,30 @@ class Command:
     op: str
     key: str
     args: Tuple[Any, ...] = ()
+    checksum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.checksum is None:
+            object.__setattr__(self, "checksum", self.expected_checksum())
+
+    def expected_checksum(self) -> int:
+        """Recompute the CRC-32 the payload fields should carry."""
+        return _crc32((self.client_id, self.seq, self.op, self.key, self.args))
+
+    def verify(self) -> bool:
+        """True when the carried checksum matches the payload (not tampered).
+
+        Memoised per object: commands are immutable and one command object is
+        shared by every message and replica that carries it, so the CRC walk
+        runs once per object, not once per delivery — the boundary check costs
+        a cached attribute read on the hot path.  A garbled copy is a *new*
+        object and gets its own (failing) verification.
+        """
+        cached = getattr(self, "_intact", None)
+        if cached is None:
+            cached = self.checksum == self.expected_checksum()
+            object.__setattr__(self, "_intact", cached)
+        return cached
 
     # ------------------------------------------------------------ constructors --
     @classmethod
@@ -77,9 +126,44 @@ class Command:
 
 @dataclasses.dataclass(frozen=True)
 class Batch:
-    """An ordered group of commands decided as one consensus value."""
+    """An ordered group of commands decided as one consensus value.
+
+    Carries its own CRC-32 over the *member checksums* (order included), so a
+    reordered or substituted member is caught even when each member's own
+    checksum still verifies; a garbled member is caught by its member check.
+    """
 
     commands: Tuple[Any, ...]
+    checksum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.checksum is None:
+            object.__setattr__(self, "checksum", self.expected_checksum())
+
+    def expected_checksum(self) -> int:
+        """Recompute the CRC-32 over the ordered member checksums."""
+        return _crc32(
+            tuple(
+                command.checksum if isinstance(command, Command) else repr(command)
+                for command in self.commands
+            )
+        )
+
+    def verify(self) -> bool:
+        """True when the batch and every checksummed member are untampered.
+
+        Memoised per object, like :meth:`Command.verify`: a batch is decided
+        once and then travels through many messages and replicas unchanged.
+        """
+        cached = getattr(self, "_intact", None)
+        if cached is None:
+            cached = self.checksum == self.expected_checksum() and all(
+                command.verify()
+                for command in self.commands
+                if isinstance(command, Command)
+            )
+            object.__setattr__(self, "_intact", cached)
+        return cached
 
     def __len__(self) -> int:
         return len(self.commands)
@@ -94,3 +178,35 @@ def flatten_value(value: Any) -> Tuple[Any, ...]:
     if isinstance(value, Batch):
         return value.commands
     return (value,)
+
+
+def _value_intact(value: Any) -> bool:
+    """True when *value* carries no checksum or its checksum verifies."""
+    verify = getattr(value, "verify", None)
+    if verify is None:
+        return True
+    return bool(verify())
+
+
+def payload_intact(message: Any) -> bool:
+    """True when every checksummed payload carried by *message* verifies.
+
+    This is the digest check at the consensus/service boundary: the replicated
+    log calls it on every incoming message and drops tampered ones (counting
+    them), so corruption on a link degrades into message loss rather than a
+    divergent decision or a garbled state-machine command.  The walk mirrors the
+    shapes the corruption model can tamper with — a wrapped envelope's
+    ``inner``, a ``value`` / ``accepted_value`` field, and the ``decisions`` of
+    a catch-up reply; messages carrying none of these are trivially intact.
+    """
+    inner = getattr(message, "inner", None)
+    if inner is not None:
+        return payload_intact(inner)
+    if not _value_intact(getattr(message, "value", None)):
+        return False
+    if not _value_intact(getattr(message, "accepted_value", None)):
+        return False
+    decisions = getattr(message, "decisions", None)
+    if decisions is not None:
+        return all(_value_intact(value) for _, value in decisions)
+    return True

@@ -26,6 +26,44 @@ Two throughput features serve the service layer of :mod:`repro.service`:
   contiguous decided prefix extends, in log order — the hook state machines use to
   apply the log without rescanning it.
 
+The catch-up protocol
+---------------------
+``Decide`` announcements are broadcast once and are gone for whoever was not
+listening — a replica that recovered from a crash (empty log) or sat on the
+minority side of a partition (holes in the log) would stay behind forever.
+Catch-up closes the gap with two messages and one rule:
+
+* every **non-leader** sends, on each drive tick, a
+  :class:`~repro.consensus.messages.CatchUpRequest` carrying its frontier (the
+  first undecided position) to the process it currently trusts as leader.  A
+  peer with nothing newer stays silent, so steady state costs one small message
+  per tick;
+* a peer that *does* hold newer decisions answers with a bounded
+  :class:`~repro.consensus.messages.CatchUpReply` (at most ``CATCH_UP_BATCH``
+  positions; the requester's next tick continues from its advanced frontier),
+  and the receiver learns each ``(position, value)`` through
+  :meth:`ConsensusInstance.learn`;
+* **poll-back**: a peer polled by someone *ahead* of it cannot serve the
+  request, but the request's frontier just revealed that the *peer* is the one
+  missing decisions — so it polls the requester back.  This is how a freshly
+  restarted replica that trusts *itself* as leader (and therefore polls nobody)
+  still converges: its followers' routine polls carry their higher frontiers
+  and the poll-back turns them into servers.  No ping-pong arises because the
+  poll-back carries a strictly lower frontier, which the other side answers
+  with data, not another poll.
+
+Payload integrity
+-----------------
+Every incoming message is checked with
+:func:`~repro.consensus.commands.payload_intact` before it is processed: a
+delivery whose command payload was tampered in flight (a
+:class:`~repro.simulation.faults.CorruptLink` garbles payloads but preserves
+their stale checksums) is **rejected** — counted in :attr:`ReplicatedLog.
+corrupt_rejected` and otherwise treated exactly like a lost message, which the
+indulgent protocol already tolerates.  Rejection happens *before* the consensus
+state machine sees the message, so a garbled value can never be promised,
+accepted, decided, learnt through catch-up or applied.
+
 All hot paths are O(1) amortised: the first undecided position is tracked by a
 contiguous-prefix cursor, decided values are indexed by a set (falling back to an
 equality scan only for unhashable legacy values), and the delivered prefix is
@@ -36,7 +74,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.consensus.commands import Batch, flatten_value
+from repro.consensus.commands import Batch, flatten_value, payload_intact
 from repro.consensus.instance import ConsensusInstance
 from repro.consensus.messages import CatchUpReply, CatchUpRequest, Forward
 from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
@@ -150,6 +188,10 @@ class ReplicatedLog(Process):
         self.forwarded: List[Any] = []
         #: Number of proposal attempts started by this process (reporting).
         self.proposals_started = 0
+        #: Deliveries rejected because a carried payload failed its checksum
+        #: (tampered in flight by a corrupting link); rejected messages are
+        #: treated exactly like lost ones.
+        self.corrupt_rejected = 0
 
         # Hot-path state: first position not yet decided (contiguous-prefix
         # cursor), highest decided position, decided-command index, and the
@@ -200,6 +242,12 @@ class ReplicatedLog(Process):
         env.set_timer(self.drive_period, _DRIVE_TIMER)
 
     def on_message(self, env: Environment, sender: int, message: Message) -> None:
+        if not payload_intact(message):
+            # The digest check at the consensus/service boundary: a tampered
+            # payload is dropped before any protocol state sees it, so
+            # corruption degrades into message loss (which is tolerated).
+            self.corrupt_rejected += 1
+            return
         if isinstance(message, Forward):
             if (
                 not self._is_decided_value(message.value)

@@ -65,13 +65,25 @@ class OmegaConfig:
         messages lost to a partition, or a peer whose sending round restarted
         from 0 after a recovery, can therefore stall the receiving round forever
         — freezing suspicion counting and, with it, leadership.  When set, a
-        process that observes an ALIVE whose round number exceeds its receiving
-        round by more than this gap fast-forwards to that round (broadcasting no
-        suspicions for the skipped rounds — conservative: skipping can only
-        *under*-suspect, never wrongly accuse).  ``None`` (the default) disables
+        process fast-forwards its receiving round to an observed ALIVE round
+        number once **all three** hold: the observed round exceeds the
+        receiving round by more than this gap, the round timer has expired, and
+        the current round is still short of its ``alpha`` receptions — i.e. the
+        round is demonstrably stuck, not merely lagging.  (A receiving round
+        that lags the sending rounds is the *normal* regime whenever the
+        line-11 timeout exceeds the ALIVE period, and must not be skipped:
+        every skipped round loses its SUSPICION broadcast, and with exactly
+        ``alpha`` processes alive one missing broadcast starves the line-``*``
+        window forever, freezing a crashed process's suspicion level — and
+        possibly a dead leader — in place.)  No suspicions are broadcast for
+        the skipped rounds — conservative: skipping can only *under*-suspect,
+        never wrongly accuse.  ``None`` (the default) disables
         resynchronisation and keeps the paper's exact semantics; fault plans
         with partitions or recoveries enable it through
-        :meth:`~repro.simulation.faults.FaultPlan.needs_round_resync`.
+        :meth:`~repro.simulation.faults.FaultPlan.needs_round_resync`, and a
+        :class:`~repro.service.sharding.ShardedService` switches it on
+        automatically for such plans (or when an adaptive adversary is
+        installed).
     """
 
     alive_period: float = 1.0

@@ -168,6 +168,18 @@ class RotatingStarOmegaBase(Process, LeaderOracle):
             if (
                 resync_gap is not None
                 and message.rn - self.receiving_round > resync_gap
+                # Only a *stuck* round may be skipped: the timer has expired
+                # (line 8's first condition holds) yet the alpha exact-round
+                # receptions are still missing.  A receiving round that merely
+                # lags the sending rounds — the normal regime whenever the
+                # line-11 timeout exceeds the ALIVE period — closes on every
+                # timer expiry and must NOT be skipped: skipping drops the
+                # round's SUSPICION broadcast, and with only alpha processes
+                # alive a single missing broadcast leaves that round short of
+                # the line-* quorum forever, freezing the suspicion level of a
+                # crashed process (and with it, a dead leader) in place.
+                and self._round_timer_expired
+                and self.records.reception_count(self.receiving_round) < self.alpha
             ):
                 self._resync_round(env, message.rn)
         self._record_leader(env)
@@ -181,7 +193,9 @@ class RotatingStarOmegaBase(Process, LeaderOracle):
         recovery; jumping to the observed round *rn* restores liveness.  No
         SUSPICION is broadcast for the skipped rounds (we did not observe them,
         so we accuse nobody), which keeps the suspicion-counting safety
-        unchanged.  Only runs when ``config.round_resync_gap`` is set.
+        unchanged.  Only runs when ``config.round_resync_gap`` is set, and only
+        for rounds that are demonstrably stuck — timer expired, receptions
+        short of ``alpha``, and a peer already ``resync_gap`` rounds ahead.
         """
         self.round_resyncs += 1
         env.log("round_resync", from_rn=self.receiving_round, to_rn=rn)

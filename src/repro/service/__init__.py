@@ -2,13 +2,17 @@
 
 The layering, bottom up:
 
-* :mod:`repro.simulation` / :mod:`repro.runtime` — the execution substrate;
+* :mod:`repro.simulation` / :mod:`repro.runtime` — the execution substrate,
+  including the fault-plan engine, payload corruption and the adaptive
+  adversaries of :mod:`repro.simulation.adversary`;
 * :mod:`repro.core` — the paper's Omega (eventual leader) algorithms;
-* :mod:`repro.consensus` — indulgent consensus and the batched replicated log;
+* :mod:`repro.consensus` — indulgent consensus and the batched replicated log,
+  with end-to-end payload integrity (tampered deliveries are rejected at this
+  boundary, never applied);
 * **this package** — replicated state machines (:mod:`~repro.service.state_machine`),
   service replicas (:mod:`~repro.service.replica`), hash-partitioned shard groups
-  (:mod:`~repro.service.sharding`) and client sessions / workload generators
-  (:mod:`~repro.service.clients`).
+  (:mod:`~repro.service.sharding`, including ``ShardedService(adversary=...)``)
+  and client sessions / workload generators (:mod:`~repro.service.clients`).
 """
 
 from repro.consensus.commands import Batch, Command, flatten_value

@@ -7,6 +7,12 @@ log prefix is flattened (batches into commands) and applied, in log order, throu
 the replicated log's ``on_deliver`` hook.  The class is runtime-agnostic like every
 other :class:`~repro.core.interfaces.Process` — the same object runs under the
 discrete-event simulator and under the asyncio runtime.
+
+The state machine is shielded from in-flight payload tampering: the underlying
+replicated log checksum-verifies every delivery and drops tampered ones (see
+:attr:`ServiceReplica.corruption_rejections`), so only commands whose integrity
+verified are ever ordered or applied — replicas cannot diverge under
+:class:`~repro.simulation.faults.CorruptLink` faults.
 """
 
 from __future__ import annotations
@@ -76,6 +82,17 @@ class ServiceReplica(OmegaConsensusStack):
         )
 
     # ------------------------------------------------------------------ reporting --
+    @property
+    def corruption_rejections(self) -> int:
+        """Deliveries this replica rejected because a payload failed its checksum.
+
+        Tampered messages (see :class:`~repro.simulation.faults.CorruptLink`)
+        are dropped at the consensus/service boundary before any protocol or
+        state-machine code sees them, so the state machine only ever applies
+        commands whose integrity verified.
+        """
+        return self.log.corrupt_rejected
+
     def decided_command_positions(self) -> int:
         """Number of decided non-noop log positions (consensus instances spent)."""
         from repro.consensus.replicated_log import NOOP

@@ -64,9 +64,18 @@ class ShardedService:
         (legacy adapter; converted to a pure crash-stop fault plan).
     fault_plan_factory:
         Optional callable ``shard -> FaultPlan`` injecting per-shard faults
-        (crashes, recoveries, partitions, link faults).  Mutually exclusive
-        with ``crash_schedule_factory``.  Plans that permanently break a
-        shard's assumption are recorded in :attr:`assumption_violations`.
+        (crashes, recoveries, partitions, link faults, payload corruption).
+        Mutually exclusive with ``crash_schedule_factory``.  Plans that
+        permanently break a shard's assumption are recorded in
+        :attr:`assumption_violations`.
+    adversary:
+        Optional adaptive adversary (see :mod:`repro.simulation.adversary`);
+        it is installed on the whole service — observing every shard on the
+        shared clock and injecting validated faults at its decision ticks.
+        Because adversaries inject recoveries and partitions at run time, an
+        installed adversary enables the crash-recovery round resynchronisation
+        (``OmegaConfig.round_resync_gap``) on every shard, exactly as a static
+        plan with such events would.
     batch_size:
         Commands the shard leader packs into one consensus instance.
     seed:
@@ -81,6 +90,7 @@ class ShardedService:
         scenario_factory: Optional[Callable[[int], Scenario]] = None,
         crash_schedule_factory: Optional[Callable[[int], CrashSchedule]] = None,
         fault_plan_factory: Optional[Callable[[int], FaultPlan]] = None,
+        adversary=None,
         batch_size: int = 8,
         drive_period: float = 2.0,
         retry_period: float = 10.0,
@@ -131,13 +141,13 @@ class ShardedService:
                 fault_plan
             )
             if (
-                fault_plan.needs_round_resync()
-                and omega_config.round_resync_gap is None
-            ):
+                fault_plan.needs_round_resync() or adversary is not None
+            ) and omega_config.round_resync_gap is None:
                 # Partitions / recoveries can stall the paper's exact-round
                 # closing rule; enable the crash-recovery round fast-forward.
-                # Pure crash-stop plans skip this, staying byte-identical to
-                # the legacy crash-schedule path.
+                # An adversary injects such events at run time, so its mere
+                # presence enables the gap.  Pure crash-stop plans skip this,
+                # staying byte-identical to the legacy crash-schedule path.
                 omega_config = dataclasses.replace(
                     omega_config, round_resync_gap=DEFAULT_ROUND_RESYNC_GAP
                 )
@@ -164,6 +174,11 @@ class ShardedService:
                     scheduler=self.scheduler,
                 )
             )
+
+        #: The installed adaptive adversary, or ``None``.
+        self.adversary = adversary
+        if adversary is not None:
+            adversary.install(self)
 
     def _default_scenario_factory(self) -> Callable[[int], Scenario]:
         n, t, seed = self.n, self.t, self.seed
@@ -281,6 +296,37 @@ class ShardedService:
     def total_applied(self) -> int:
         """Effective commands applied across all shards."""
         return sum(self.applied_commands(shard) for shard in range(self.num_shards))
+
+    def corrupted_messages(self) -> int:
+        """Messages tampered in flight across all shards (network accounting)."""
+        return sum(system.stats.total_corrupted for system in self.systems)
+
+    def corrupted_deliveries(self) -> int:
+        """Tampered messages handed to an alive replica, across all shards.
+
+        Every one of these was rejected at the consensus/service boundary —
+        the count is network-side, so it survives crash-recovery (which resets
+        the per-replica rejection counters along with the rest of a recovered
+        replica's state).
+        """
+        return sum(system.stats.corrupted_delivered for system in self.systems)
+
+    def corruption_rejections(self) -> int:
+        """Boundary rejections counted by the replicas' *current* incarnations.
+
+        Matches :meth:`corrupted_deliveries` exactly while no replica has
+        recovered; after a recovery the replica's counter restarts from zero
+        with the rest of its state (crash recovery without stable storage), so
+        this may undercount — use :meth:`corrupted_deliveries` for whole-run
+        accounting.
+        """
+        total = 0
+        for system in self.systems:
+            for shell in system.shells:
+                log = getattr(shell.algorithm, "log", None)
+                if log is not None:
+                    total += log.corrupt_rejected
+        return total
 
     def total_instances(self) -> int:
         """Decided non-noop consensus instances across all shards."""

@@ -3,12 +3,19 @@
 The substrate the paper's algorithms run on in this reproduction: a virtual-time
 event scheduler, a reliable non-FIFO network with pluggable per-message delay models,
 process shells enforcing crash (and crash-recovery) semantics, a composable
-fault-plan engine (:mod:`repro.simulation.faults`), and a system builder tying
-them together.
+fault-plan engine (:mod:`repro.simulation.faults`) with payload corruption
+(:mod:`repro.simulation.corruption`), and a system builder tying them together.
+
+Adaptive adversaries — fault drivers that observe the execution and inject
+validated faults at run time — live in :mod:`repro.simulation.adversary` and
+are imported from there directly (the module reads the analysis-layer metrics
+and is therefore not re-exported here).
 """
 
+from repro.simulation.corruption import corrupt_message, corrupt_value
 from repro.simulation.crash import CrashSchedule
 from repro.simulation.faults import (
+    CorruptLink,
     Crash,
     FaultEvent,
     FaultInjector,
@@ -40,6 +47,7 @@ from repro.simulation.system import ProcessFactory, System, SystemConfig
 
 __all__ = [
     "ConstantDelay",
+    "CorruptLink",
     "Crash",
     "CrashSchedule",
     "DelayModel",
@@ -70,4 +78,6 @@ __all__ = [
     "SystemConfig",
     "TagFilteredDelay",
     "UniformDelay",
+    "corrupt_message",
+    "corrupt_value",
 ]

@@ -1,4 +1,5 @@
-"""Unified fault-plan engine: crashes, recoveries, partitions and link faults.
+"""Unified fault-plan engine: crashes, recoveries, partitions, link faults and
+message corruption.
 
 The paper's failure model is crash-stop, and the seed codebase hard-wired it in
 four disconnected places (:class:`~repro.simulation.crash.CrashSchedule`, the
@@ -7,16 +8,26 @@ replaces that with one composable surface:
 
 * a :class:`FaultEvent` is one timed fault — :class:`Crash`, :class:`Recover`,
   :class:`PartitionStart` / :class:`PartitionHeal`, :class:`LinkFault` /
-  :class:`LinkHeal`, :class:`SlowProcess`;
+  :class:`LinkHeal`, :class:`CorruptLink`, :class:`SlowProcess`;
 * a :class:`FaultPlan` groups events into a declarative, validated, replayable
   plan, with builders for the standard shapes (pure crash-stop schedules, rolling
-  restarts, split brain, flaky links, random plans from a
+  restarts, split brain, flaky links, corrupting links, random plans from a
   :class:`~repro.util.rng.RandomSource`);
 * a :class:`FaultInjector` schedules the plan's events on a system's virtual
-  clock and applies them (it is the only object that mutates the system);
+  clock and applies them (it is the only object that mutates the system).
+  Events may also be injected while the run is in progress —
+  :meth:`FaultInjector.inject` revalidates the whole plan, which is the hook
+  the *adaptive adversaries* of :mod:`repro.simulation.adversary` drive;
 * a :class:`LinkState` matrix holds the *current* topology faults; the
   :class:`~repro.simulation.network.Network` consults it on every send, before
   the delay model draws a delay.
+
+Beyond dropping and delaying, a link can **corrupt**: a :class:`CorruptLink`
+fault garbles the command payloads of messages crossing the link (stale
+checksums preserved — see :mod:`repro.simulation.corruption`) instead of losing
+them.  Detection is end-to-end: the consensus/service boundary verifies the
+checksums and rejects tampered deliveries, so corruption degrades into message
+loss rather than divergent replica state.
 
 Determinism and the hot path
 ----------------------------
@@ -47,6 +58,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.simulation.corruption import corrupt_message
 from repro.simulation.crash import CrashSchedule
 from repro.util.rng import RandomSource
 from repro.util.validation import (
@@ -181,6 +193,47 @@ class LinkHeal(FaultEvent):
 
 
 @dataclasses.dataclass(frozen=True)
+class CorruptLink(FaultEvent):
+    """Garble command payloads on the directed link ``sender -> dest``.
+
+    From :attr:`time` on, each message crossing the link that carries an
+    integrity-protected payload is tampered with (independently, with
+    :attr:`probability`): the payload is garbled while its stale checksum is
+    preserved, so the receiving side's digest check rejects the delivery (see
+    :mod:`repro.simulation.corruption`).  Messages without such a payload —
+    the Omega layer's control traffic — pass through unchanged.  Unlike a
+    :class:`LinkFault` the link still *delivers* on time; corruption attacks
+    integrity, not availability.
+
+    ``until`` heals the corruption by itself; a :class:`LinkHeal` on the same
+    directed link removes it too (healing restores the link to nominal
+    behaviour in every respect).
+    """
+
+    sender: int
+    dest: int
+    probability: float = 1.0
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_in_range(self.probability, "probability", 0.0, 1.0)
+        if self.probability == 0.0:
+            raise ValueError("a CorruptLink with probability=0 corrupts nothing")
+        if self.until is not None and self.until <= self.time:
+            raise ValueError(
+                f"corruption until={self.until} must be after time={self.time}"
+            )
+
+    def describe(self) -> str:
+        window = f"..{self.until:g}" if self.until is not None else ".."
+        return (
+            f"corrupt({self.sender}->{self.dest} "
+            f"p={self.probability:g})@{self.time:g}{window}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class SlowProcess(FaultEvent):
     """Multiply the delay of every message to/from *pid* by *factor*.
 
@@ -204,7 +257,14 @@ class SlowProcess(FaultEvent):
 
 
 #: Event kinds that change topology (and therefore require a LinkState matrix).
-_TOPOLOGY_EVENTS = (PartitionStart, PartitionHeal, LinkFault, LinkHeal, SlowProcess)
+_TOPOLOGY_EVENTS = (
+    PartitionStart,
+    PartitionHeal,
+    LinkFault,
+    LinkHeal,
+    CorruptLink,
+    SlowProcess,
+)
 
 #: Default receiving-round fast-forward threshold enabled for plans that can
 #: lose messages or reset a process (see OmegaConfig.round_resync_gap).
@@ -330,6 +390,26 @@ class FaultPlan:
         )
 
     @classmethod
+    def corrupt_links(
+        cls,
+        links: Iterable[Tuple[int, int]],
+        at: float,
+        until: Optional[float] = None,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Make every directed link in *links* corrupt payloads from *at* (to *until*)."""
+        return cls(
+            CorruptLink(
+                time=at,
+                sender=int(s),
+                dest=int(d),
+                probability=probability,
+                until=until,
+            )
+            for s, d in links
+        )
+
+    @classmethod
     def random(
         cls,
         n: int,
@@ -341,6 +421,8 @@ class FaultPlan:
         partition_probability: float = 0.0,
         flaky_link_count: int = 0,
         loss_probability: float = 0.2,
+        corrupt_link_count: int = 0,
+        corrupt_probability: float = 0.8,
         protect: Iterable[int] = (),
     ) -> "FaultPlan":
         """Draw a random plan whose faults all end by *horizon*.
@@ -349,10 +431,22 @@ class FaultPlan:
         uniform times in the first half of the horizon; each crashed process
         recovers before the horizon with probability *recover_probability*.  With
         *partition_probability*, a random two-sided partition opens and heals
-        inside the horizon, and *flaky_link_count* random directed links become
-        lossy for a sub-window.  Because every partition heals and every link
-        fault carries an ``until``, the plan is quiet after *horizon* — the shape
-        the stabilisation-property tests rely on.
+        inside the horizon, *flaky_link_count* random directed links become
+        lossy for a sub-window, and *corrupt_link_count* random directed links
+        corrupt payloads for a sub-window.  Because every partition heals and
+        every link fault carries an ``until``, the plan is quiet after
+        *horizon* — the shape the stabilisation-property tests rely on.  The
+        defaults draw nothing new, so plans generated by earlier seeds are
+        reproduced byte-identically.
+
+        ``protect`` means *never targeted*: protected processes are neither
+        crashed, nor used as an endpoint of a drawn lossy or corrupting link
+        (degrading a protected process's links attacks it just as a crash
+        would), nor named by a drawn partition side — they sit on the implicit
+        side together with at least one unprotected peer, so a protected star
+        centre is never isolated alone.  With no protected pids every draw is
+        byte-identical to plans generated before protection covered links and
+        partitions.
         """
         validate_process_count(n, t)
         require_positive(horizon, "horizon")
@@ -372,17 +466,27 @@ class FaultPlan:
             plan.add(Crash(time=down, pid=pid))
             if rng.random() < recover_probability:
                 plan.add(Recover(time=rng.uniform(down + horizon / 10, horizon), pid=pid))
-        if n >= 2 and rng.random() < partition_probability:
-            side_size = rng.randint(1, n - 1)
-            side = tuple(sorted(rng.sample(range(n), side_size)))
+        if len(candidates) >= 2 and rng.random() < partition_probability:
+            # The drawn (isolated) side never names a protected process, and at
+            # least one unprotected peer stays on the implicit side with the
+            # protected ones — so a protected star centre is never the lone
+            # process on its side.  With no protected pids this draws exactly
+            # as it always did.
+            side_size = rng.randint(1, len(candidates) - 1)
+            side = tuple(sorted(rng.sample(candidates, side_size)))
             at = rng.uniform(0.0, horizon / 2)
             plan.extend(
                 FaultPlan.split_brain(
                     [side], at=at, heal_at=rng.uniform(at + horizon / 10, horizon)
                 ).events
             )
+        if (flaky_link_count or corrupt_link_count) and len(candidates) < 2:
+            raise ValueError(
+                f"cannot draw link faults: only {len(candidates)} unprotected "
+                "processes (need 2 for a directed link)"
+            )
         for _ in range(flaky_link_count):
-            sender, dest = rng.sample(range(n), 2)
+            sender, dest = rng.sample(candidates, 2)
             at = rng.uniform(0.0, horizon / 2)
             plan.add(
                 LinkFault(
@@ -390,6 +494,18 @@ class FaultPlan:
                     sender=sender,
                     dest=dest,
                     loss_probability=loss_probability,
+                    until=rng.uniform(at + horizon / 10, horizon),
+                )
+            )
+        for _ in range(corrupt_link_count):
+            sender, dest = rng.sample(candidates, 2)
+            at = rng.uniform(0.0, horizon / 2)
+            plan.add(
+                CorruptLink(
+                    time=at,
+                    sender=sender,
+                    dest=dest,
+                    probability=corrupt_probability,
                     until=rng.uniform(at + horizon / 10, horizon),
                 )
             )
@@ -420,9 +536,16 @@ class FaultPlan:
         receptions.  Systems running such plans should enable
         ``OmegaConfig.round_resync_gap`` (the sharded service does this
         automatically); pure crash-stop plans return False and keep the paper's
-        exact semantics.
+        exact semantics.  So do corruption-only plans: a :class:`CorruptLink`
+        garbles command payloads but never touches (let alone drops) the Omega
+        layer's ALIVE traffic, so rounds keep closing normally.
         """
-        return self.has_recoveries() or self.has_topology_events()
+        if self.has_recoveries():
+            return True
+        return any(
+            isinstance(event, _TOPOLOGY_EVENTS) and type(event) is not CorruptLink
+            for event in self.events
+        )
 
     def _chronological(self) -> List[FaultEvent]:
         """Events sorted by time, ties broken by plan order (stable sort)."""
@@ -486,6 +609,25 @@ class FaultPlan:
                 blocked.discard((event.sender, event.dest))
         return sorted(blocked)
 
+    def final_corrupt_links(self) -> List[Tuple[int, int]]:
+        """Directed links still corrupting *every* payload at the end (sorted).
+
+        Only fully corrupting (``probability == 1``) unhealed links count: a
+        probabilistic corrupter is fair-lossy for the data plane — intact
+        copies eventually get through — and therefore not permanent damage.
+        """
+        corrupting: Set[Tuple[int, int]] = set()
+        for event in self._chronological():
+            if type(event) is CorruptLink:
+                key = (event.sender, event.dest)
+                if event.probability >= 1.0 and event.until is None:
+                    corrupting.add(key)
+                else:
+                    corrupting.discard(key)
+            elif type(event) is LinkHeal:
+                corrupting.discard((event.sender, event.dest))
+        return sorted(corrupting)
+
     def validate(self, n: int, t: int) -> None:
         """Check the plan against the system parameters.
 
@@ -532,6 +674,9 @@ class FaultPlan:
             elif kind is LinkHeal:
                 check_pid(event.sender, "link sender")
                 check_pid(event.dest, "link dest")
+            elif kind is CorruptLink:
+                check_pid(event.sender, "corrupting link sender")
+                check_pid(event.dest, "corrupting link dest")
             elif kind is SlowProcess:
                 check_pid(event.pid, "slowed")
 
@@ -575,12 +720,21 @@ class LinkState:
     faults cannot perturb delay draws elsewhere in the run.
     """
 
-    __slots__ = ("_component_of", "_groups", "_links", "_slow", "_rng", "epoch")
+    __slots__ = (
+        "_component_of",
+        "_corrupt",
+        "_groups",
+        "_links",
+        "_slow",
+        "_rng",
+        "epoch",
+    )
 
     def __init__(self, rng: RandomSource) -> None:
         self._component_of: Optional[Dict[int, int]] = None
         self._groups: Optional[Tuple[Tuple[int, ...], ...]] = None
         self._links: Dict[Tuple[int, int], _LinkSpec] = {}
+        self._corrupt: Dict[Tuple[int, int], float] = {}
         self._slow: Dict[int, float] = {}
         self._rng = rng
         #: Bumped on every topology change; lets observers cache derived views.
@@ -612,6 +766,23 @@ class LinkState:
                 if factor is not None:
                     delay *= factor
         return delay
+
+    def maybe_corrupt(self, sender: int, dest: int, message: object) -> Optional[object]:
+        """Return a tampered copy of *message* for this link, or ``None``.
+
+        ``None`` means the link is not corrupting, the per-message probability
+        draw spared this message, or the message carries no corruptible payload
+        (Omega control traffic) — the caller delivers the original and records
+        no corruption.  Draws come from the fault layer's dedicated RNG stream;
+        a fully corrupting link (probability 1) draws only for the garble
+        itself.
+        """
+        probability = self._corrupt.get((sender, dest))
+        if probability is None:
+            return None
+        if probability < 1.0 and self._rng.random() >= probability:
+            return None
+        return corrupt_message(message, self._rng)
 
     def partition_groups(self, n: int) -> Optional[List[List[int]]]:
         """The partition currently in force as explicit pid groups, or ``None``."""
@@ -662,6 +833,16 @@ class LinkState:
         self._links.pop((sender, dest), None)
         self.epoch += 1
 
+    def set_corruption(self, fault: CorruptLink) -> None:
+        """Install (or replace) payload corruption on the ``sender -> dest`` link."""
+        self._corrupt[(fault.sender, fault.dest)] = fault.probability
+        self.epoch += 1
+
+    def heal_corruption(self, sender: int, dest: int) -> None:
+        """Stop corrupting payloads on the ``sender -> dest`` link."""
+        self._corrupt.pop((sender, dest), None)
+        self.epoch += 1
+
     def set_slowdown(self, pid: int, factor: float) -> None:
         """Install (``factor != 1``) or remove (``factor == 1``) a slowdown."""
         if factor == 1.0:
@@ -673,7 +854,8 @@ class LinkState:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"LinkState(partitioned={self.partitioned}, "
-            f"links={len(self._links)}, slow={len(self._slow)})"
+            f"links={len(self._links)}, corrupt={len(self._corrupt)}, "
+            f"slow={len(self._slow)})"
         )
 
 
@@ -696,6 +878,7 @@ class FaultInjector:
         # scheduled heal only fires if no newer fault re-faulted the same link
         # (or re-slowed the same process) in the meantime.
         self._link_fault_tokens: Dict[Tuple[int, int], int] = {}
+        self._corruption_tokens: Dict[Tuple[int, int], int] = {}
         self._slowdown_tokens: Dict[int, int] = {}
         if plan.has_topology_events():
             self._ensure_link_state()
@@ -770,7 +953,22 @@ class FaultInjector:
                 )
             system._bump_fault_epoch()
         elif kind is LinkHeal:
-            self._ensure_link_state().heal_link(event.sender, event.dest)
+            # An explicit heal restores the link to nominal behaviour in every
+            # respect: loss/delay faults and payload corruption alike.
+            link_state = self._ensure_link_state()
+            link_state.heal_link(event.sender, event.dest)
+            link_state.heal_corruption(event.sender, event.dest)
+            system._bump_fault_epoch()
+        elif kind is CorruptLink:
+            link_state = self._ensure_link_state()
+            link_state.set_corruption(event)
+            key = (event.sender, event.dest)
+            token = self._corruption_tokens.get(key, 0) + 1
+            self._corruption_tokens[key] = token
+            if event.until is not None:
+                system.scheduler.schedule_at(
+                    event.until, self._heal_corruption_cb, (key, token)
+                )
             system._bump_fault_epoch()
         elif kind is SlowProcess:
             link_state = self._ensure_link_state()
@@ -800,8 +998,15 @@ class FaultInjector:
             self.link_state.set_slowdown(pid, 1.0)
             self._system._bump_fault_epoch()
 
+    def _heal_corruption_cb(self, arg: Tuple[Tuple[int, int], int]) -> None:
+        key, token = arg
+        if self._corruption_tokens.get(key) == token:
+            self.link_state.heal_corruption(*key)
+            self._system._bump_fault_epoch()
+
 
 __all__ = [
+    "CorruptLink",
     "Crash",
     "FaultEvent",
     "FaultInjector",

@@ -12,6 +12,13 @@ a local step the crashed process no longer executes); messages *from* a process 
 crashed after sending are still delivered, matching the model in which a send that
 completed before the crash is effective.
 
+The fault layer can degrade links below the paper's model: when a
+:class:`~repro.simulation.faults.LinkState` matrix is installed (only for fault
+plans with topology events), each send first consults it — unreachable
+destinations are dropped before a delay is drawn, faulted links lose or slow
+messages, and corrupting links replace the payload with a garbled copy
+(:mod:`repro.simulation.corruption`) while still delivering on time.
+
 Hot-path design
 ---------------
 The paper's algorithms broadcast ALIVE/SUSPICION every period — n² messages per
@@ -51,7 +58,16 @@ class Envelope:
     once at send time and reused by delivery-time accounting.
     """
 
-    __slots__ = ("msg_id", "sender", "dest", "message", "send_time", "deliver_time", "tag")
+    __slots__ = (
+        "msg_id",
+        "sender",
+        "dest",
+        "message",
+        "send_time",
+        "deliver_time",
+        "tag",
+        "corrupted",
+    )
 
     def __init__(
         self,
@@ -62,6 +78,7 @@ class Envelope:
         send_time: float,
         deliver_time: float,
         tag: str,
+        corrupted: bool = False,
     ) -> None:
         self.msg_id = msg_id
         self.sender = sender
@@ -70,6 +87,7 @@ class Envelope:
         self.send_time = send_time
         self.deliver_time = deliver_time
         self.tag = tag
+        self.corrupted = corrupted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -92,11 +110,14 @@ class NetworkStats:
         "_sent_by_tag",
         "_delivered_by_tag",
         "_dropped_by_tag",
+        "_corrupted_by_tag",
         "_sent_by_process",
         "_delivered_to_process",
         "_total_sent",
         "_total_delivered",
         "_total_dropped",
+        "_total_corrupted",
+        "_corrupted_delivered",
         "total_delay",
         "max_delay",
     )
@@ -105,11 +126,14 @@ class NetworkStats:
         self._sent_by_tag: Dict[str, int] = {}
         self._delivered_by_tag: Dict[str, int] = {}
         self._dropped_by_tag: Dict[str, int] = {}
+        self._corrupted_by_tag: Dict[str, int] = {}
         self._sent_by_process: Dict[int, int] = {}
         self._delivered_to_process: Dict[int, int] = {}
         self._total_sent = 0
         self._total_delivered = 0
         self._total_dropped = 0
+        self._total_corrupted = 0
+        self._corrupted_delivered = 0
         self.total_delay = 0.0
         self.max_delay = 0.0
 
@@ -128,6 +152,11 @@ class NetworkStats:
     def dropped_by_tag(self) -> Counter:
         """Messages dropped (lossy links or destination crashed), per tag."""
         return Counter(self._dropped_by_tag)
+
+    @property
+    def corrupted_by_tag(self) -> Counter:
+        """Messages whose payload was tampered in flight, per innermost tag."""
+        return Counter(self._corrupted_by_tag)
 
     @property
     def sent_by_process(self) -> Counter:
@@ -153,6 +182,27 @@ class NetworkStats:
     def total_dropped(self) -> int:
         """Messages dropped (lossy links or destination crashed)."""
         return self._total_dropped
+
+    @property
+    def total_corrupted(self) -> int:
+        """Messages whose payload was tampered in flight.
+
+        Counted at send time, when a :class:`~repro.simulation.faults.CorruptLink`
+        actually garbled the payload; the receiving side's integrity check is
+        what turns these deliveries into rejections (see
+        ``ReplicatedLog.corrupt_rejected``)."""
+        return self._total_corrupted
+
+    @property
+    def corrupted_delivered(self) -> int:
+        """Tampered messages actually handed to an alive destination.
+
+        At most :attr:`total_corrupted` (a tampered message addressed to a
+        crashed process is dropped like any other).  Unlike the receiver-side
+        rejection counters, this network-side count survives crash-recovery
+        (a recovered process restarts its algorithm — and its counters — from
+        the initial state)."""
+        return self._corrupted_delivered
 
     @property
     def mean_delay(self) -> float:
@@ -184,15 +234,26 @@ class NetworkStats:
         by_tag = self._dropped_by_tag
         by_tag[tag] = by_tag.get(tag, 0) + 1
 
+    def record_corrupted(self, tag: str) -> None:
+        self._total_corrupted += 1
+        by_tag = self._corrupted_by_tag
+        by_tag[tag] = by_tag.get(tag, 0) + 1
+
+    def record_corrupted_delivered(self) -> None:
+        self._corrupted_delivered += 1
+
     def as_dict(self) -> Dict[str, object]:
         """Return a JSON-friendly summary."""
         return {
             "sent": dict(self._sent_by_tag),
             "delivered": dict(self._delivered_by_tag),
             "dropped": dict(self._dropped_by_tag),
+            "corrupted": dict(self._corrupted_by_tag),
             "total_sent": self._total_sent,
             "total_delivered": self._total_delivered,
             "total_dropped": self._total_dropped,
+            "total_corrupted": self._total_corrupted,
+            "corrupted_delivered": self._corrupted_delivered,
             "mean_delay": self.mean_delay,
             "max_delay": self.max_delay,
         }
@@ -356,6 +417,20 @@ class Network:
                 f"delay model {self.delay_model.describe()} returned negative delay "
                 f"{delay} for {tag} {sender}->{dest}"
             )
+        corrupted = False
+        if link_state is not None:
+            # Corrupting links tamper with the payload but still deliver: the
+            # garbled copy replaces the message for *this* destination only
+            # (broadcast envelopes are shared, so a fresh object is built).
+            tampered = link_state.maybe_corrupt(sender, dest, message)
+            if tampered is not None:
+                message = tampered
+                corrupted = True
+                self.stats.record_corrupted(tag)
+                if self._tracer is not None:
+                    self._tracer.record(
+                        send_time, sender, "message_corrupted", tag=tag, dest=dest
+                    )
         envelope = Envelope(
             next(self._msg_ids),
             sender,
@@ -364,6 +439,7 @@ class Network:
             send_time,
             send_time + delay,
             tag,
+            corrupted,
         )
         self._scheduler.schedule_at(
             envelope.deliver_time, self._deliver_envelope, envelope
@@ -388,6 +464,8 @@ class Network:
             return
         delay = envelope.deliver_time - envelope.send_time
         self.stats.record_delivered(tag, dest, delay)
+        if envelope.corrupted:
+            self.stats.record_corrupted_delivered()
         if self._tracer is not None:
             self._tracer.record(
                 envelope.deliver_time,

@@ -225,6 +225,62 @@ class TestLeaderElection:
         assert leaders == [0, 1]
 
 
+class TestRoundResync:
+    """The crash-recovery fast-forward only skips *stuck* rounds.
+
+    Regression for the stabilisation bug found by the fault-plan hypothesis
+    property: the original trigger fired on the observed-round gap alone, so
+    the benign steady-state lag that arises whenever the line-11 timeout
+    exceeds the ALIVE period caused periodic skips; every skipped round lost
+    its SUSPICION broadcast, starving the line-* window and freezing a crashed
+    leader's suspicion level forever.
+    """
+
+    def _resync_algorithm(self):
+        algorithm, env = make(n=5, t=2, round_resync_gap=4)
+        algorithm.on_start(env)
+        return algorithm, env
+
+    def test_lagging_but_closable_round_is_not_skipped(self):
+        algorithm, env = self._resync_algorithm()
+        # Round 1 already has its alpha receptions: merely observing a far
+        # higher round number must not fast-forward (the round will close on
+        # the next timer expiry).
+        deliver_round_alive(algorithm, env, rn=1, senders=[1, 2, 3])
+        algorithm.on_message(env, 4, Alive(rn=50, susp_level=()))
+        assert algorithm.receiving_round == 1
+        assert algorithm.round_resyncs == 0
+
+    def test_round_with_live_timer_is_not_skipped(self):
+        algorithm, env = self._resync_algorithm()
+        # Timer not expired yet: even a reception-starved round is given its
+        # full timeout before the gap rule may kick in.
+        algorithm.on_message(env, 1, Alive(rn=50, susp_level=()))
+        assert algorithm.receiving_round == 1
+        assert algorithm.round_resyncs == 0
+
+    def test_stuck_round_is_fast_forwarded(self):
+        algorithm, env = self._resync_algorithm()
+        # Expire the round timer with only one reception (< alpha = 3): the
+        # round is now demonstrably stuck, so a far-ahead ALIVE resyncs.
+        env.advance(1.0)
+        env.fire_due_timers(algorithm)
+        algorithm.on_message(env, 1, Alive(rn=2, susp_level=()))
+        assert algorithm.round_resyncs == 0  # gap 1 <= 4: no resync yet
+        algorithm.on_message(env, 2, Alive(rn=50, susp_level=()))
+        assert algorithm.round_resyncs == 1
+        assert algorithm.receiving_round == 50
+
+    def test_disabled_by_default(self):
+        algorithm, env = make(n=5, t=2)
+        algorithm.on_start(env)
+        env.advance(1.0)
+        env.fire_due_timers(algorithm)
+        algorithm.on_message(env, 1, Alive(rn=500, susp_level=()))
+        assert algorithm.receiving_round == 1
+        assert algorithm.round_resyncs == 0
+
+
 class TestErrorsAndHousekeeping:
     def test_unknown_message_type_rejected(self):
         algorithm, env = make()

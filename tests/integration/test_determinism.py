@@ -113,6 +113,47 @@ def _faulty_service_run():
     }
 
 
+def _adversarial_service_run():
+    """The adversary-demo shape: a live LeaderHunter plus corrupting links."""
+    from repro.simulation.adversary import LeaderHunter
+
+    def plan(shard):
+        center = shard % 3
+        return FaultPlan.corrupt_links(
+            [(center, (center + 1) % 3)], at=30.0, until=90.0, probability=0.8
+        )
+
+    hunter = LeaderHunter(period=20.0, start=25.0, stop=110.0, downtime=10.0)
+    service = build_sharded_service(
+        num_shards=2,
+        n=3,
+        t=1,
+        seed=SEED,
+        batch_size=4,
+        fault_plan_factory=plan,
+        adversary=hunter,
+    )
+    clients = start_clients(
+        service,
+        num_clients=8,
+        workload_factory=lambda i: zipfian_workload(num_keys=16),
+    )
+    service.run_until(250.0)
+    return {
+        "executed": service.scheduler.executed,
+        "committed": sum(client.stats.completed for client in clients),
+        "actions": [action.describe() for action in hunter.actions],
+        "tampered": service.corrupted_messages(),
+        "rejected": service.corrupted_deliveries(),
+        "digests": {
+            shard: service.state_digests(shard, correct_only=False)
+            for shard in range(service.num_shards)
+        },
+        "leaders": service.leaders(),
+        "consistent": service.is_consistent(),
+    }
+
+
 class TestDeterminism:
     def test_omega_run_is_reproducible(self):
         first = _omega_run()
@@ -134,6 +175,20 @@ class TestDeterminism:
         assert first == second
         # Post-heal, post-restart: every replica of every shard identical.
         assert first["consistent"]
+        assert all(
+            len(set(digests)) == 1 for digests in first["digests"].values()
+        )
+
+    def test_adversarial_service_run_is_reproducible_and_converges(self):
+        """Seeded LeaderHunter + corrupting links ⇒ identical runs that still
+        re-elect a leader per shard and converge all replica digests."""
+        first = _adversarial_service_run()
+        second = _adversarial_service_run()
+        assert _sha256(first) == _sha256(second)
+        assert first == second
+        assert first["actions"]  # the hunter actually attacked
+        assert first["tampered"] > 0 and first["rejected"] > 0
+        assert all(leader is not None for leader in first["leaders"].values())
         assert all(
             len(set(digests)) == 1 for digests in first["digests"].values()
         )
