@@ -7,13 +7,17 @@ Unlike the E1-E10 benchmarks (which regenerate the paper's experiment tables in
 It is the perf trajectory of the repository — every run writes ``BENCH_PERF.json``
 at the repo root so successive PRs can show before/after numbers.
 
-Two workloads are measured:
+Three workloads are measured:
 
 * ``omega_broadcast`` — an n-process Figure 3 Omega system under uniform delays.
   Every process broadcasts ALIVE every period and SUSPICION every round, so the
   run is dominated by the n² fan-out the native ``Network.broadcast`` optimises.
 * ``sharded_service`` — an E10-style sharded key-value service with closed-loop
   clients, exercising the composite-process (Wrapped) hot path end to end.
+* ``sharded_service_storage`` — the same service on durable replicas (stable
+  storage with a write-cost model, plus a rolling restart per shard); its
+  events/sec relative to ``sharded_service`` is the tracked durability
+  overhead.
 
 Each workload also reports a deterministic *fingerprint* (a SHA-256 over the
 leader histories / final replica state), so the JSON doubles as evidence that a
@@ -172,10 +176,93 @@ def bench_sharded_service(quick: bool, noop_fault_plan: bool = False) -> dict:
     }
 
 
+def bench_sharded_service_storage(quick: bool) -> dict:
+    """The sharded-service run on durable replicas: stable storage + restarts.
+
+    Same shape as ``sharded_service`` but every replica writes its consensus
+    state through a :class:`~repro.storage.stable_store.StableStore` (write
+    cost charged on the virtual clock) and each shard's first follower is
+    restarted mid-run, exercising the recovery/rehydration path.  The delta
+    between this workload's events/sec and ``sharded_service``'s is the
+    durability overhead BENCH_PERF.json tracks across PRs.
+    """
+    from repro.storage import WriteCostModel
+
+    num_shards = 2 if quick else 4
+    num_clients = 12 if quick else 48
+    horizon = 120.0 if quick else 300.0
+    seed = 1100 + num_shards
+
+    def restart_plan(shard: int) -> FaultPlan:
+        follower = (shard % 3 + 1) % 3  # the default scenario centre is spared
+        return FaultPlan.rolling_restarts(
+            [follower], start=horizon / 3, downtime=horizon / 10
+        )
+
+    service = build_sharded_service(
+        num_shards=num_shards,
+        n=3,
+        t=1,
+        seed=seed,
+        batch_size=8,
+        fault_plan_factory=restart_plan,
+        stable_storage=WriteCostModel(per_write=0.2),
+    )
+    # Quiesce before the horizon so the end-of-run digests are not sampled
+    # mid-broadcast (fsync-delayed Decides widen that window): the fingerprint
+    # then asserts full convergence, not a racy instant.
+    clients = start_clients(
+        service,
+        num_clients=num_clients,
+        workload_factory=lambda i: zipfian_workload(num_keys=64),
+        stop_at=horizon - 40.0,
+    )
+    start = time.perf_counter()
+    service.run_until(horizon)
+    wall = time.perf_counter() - start
+
+    events = service.scheduler.executed
+    messages = sum(system.stats.total_sent for system in service.systems)
+    committed = sum(client.stats.completed for client in clients)
+    recoveries = sum(
+        shell.recoveries for system in service.systems for shell in system.shells
+    )
+    fingerprint = _fingerprint(
+        {
+            "digests": {
+                shard: service.state_digests(shard, correct_only=False)
+                for shard in range(service.num_shards)
+            },
+            "committed": committed,
+            "recoveries": recoveries,
+            "storage_writes": service.storage_writes(),
+            "consistent": service.is_consistent(),
+        }
+    )
+    return {
+        "shards": num_shards,
+        "clients": num_clients,
+        "horizon": horizon,
+        "seed": seed,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall else 0,
+        "messages": messages,
+        "messages_per_sec": round(messages / wall) if wall else 0,
+        "committed_commands": committed,
+        "recoveries": recoveries,
+        "storage_writes": service.storage_writes(),
+        "storage_cost": round(service.storage_cost(), 2),
+        "consistent": service.is_consistent(),
+        "fingerprint": fingerprint,
+    }
+
+
 def run_benchmarks(quick: bool, noop_fault_plan: bool = False) -> dict:
     return {
         "omega_broadcast": bench_omega_broadcast(quick, noop_fault_plan),
         "sharded_service": bench_sharded_service(quick, noop_fault_plan),
+        "sharded_service_storage": bench_sharded_service_storage(quick),
     }
 
 

@@ -12,6 +12,8 @@ asynchronous crash-prone system model ``AS_{n,t}`` used by the paper:
 * an Omega-based indulgent consensus and replicated log realising Theorem 5
   (:mod:`repro.consensus`);
 * fair-lossy links and a reliable-channel stack (:mod:`repro.channels`);
+* stable storage for crash-recovery — durable acceptor promises and decided
+  prefixes that recovered replicas rehydrate from (:mod:`repro.storage`);
 * a client-facing sharded key-value service served by the consensus stack
   (:mod:`repro.service`): replicated state machines, batched proposals,
   exactly-once client sessions and workload generators;
@@ -94,6 +96,7 @@ from repro.analysis import (
     summarize_service,
 )
 from repro.consensus import Batch, Command
+from repro.storage import StableStorage, StableStore, WriteCostModel
 from repro.service import (
     ClosedLoopClient,
     KeyValueStore,
@@ -156,6 +159,10 @@ __all__ = [
     "ServiceSummary",
     "run_omega_experiment",
     "summarize_service",
+    # storage
+    "StableStorage",
+    "StableStore",
+    "WriteCostModel",
     # service
     "Batch",
     "ClosedLoopClient",

@@ -10,12 +10,27 @@ leader (Theorem 5: majority of correct processes + intermittent rotating t-star)
 The class below holds the acceptor, proposer and learner state of **one** process for
 **one** instance; the replicated log of :mod:`repro.consensus.replicated_log` owns a
 collection of them and moves messages in and out.
+
+Stable storage
+--------------
+Quorum intersection only guarantees agreement while acceptors *remember* their
+promises.  When a :class:`~repro.storage.stable_store.StableStore` is attached
+(``store=``), every acceptor-state mutation is persisted **before** the reply
+that reveals it leaves the process (write-ahead, like an fsync before the
+Promise/Accepted goes out), under the key ``("acceptor", instance)``.  A
+recovered incarnation rehydrates those fields through
+:meth:`restore_acceptor_state`, so a restart can no longer make this process
+re-promise a lower ballot — the quorum-amnesia hazard of storage-less crash
+recovery (see ``tests/integration/test_quorum_amnesia.py``).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Optional, Set
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.storage.stable_store import StableStore
 
 from repro.consensus.messages import (
     AcceptRequest,
@@ -63,12 +78,16 @@ class ConsensusInstance:
         quorum: int,
         instance: int,
         on_decide: Callable[[int, Any], None],
+        store: Optional["StableStore"] = None,
     ) -> None:
         self.pid = pid
         self.n = n
         self.quorum = quorum
         self.state = InstanceState(instance=instance)
         self._on_decide = on_decide
+        #: Optional stable store; when set, acceptor state is written through
+        #: before any reply revealing it is sent (write-ahead durability).
+        self._store = store
 
     # ------------------------------------------------------------------ queries --
     @property
@@ -80,6 +99,24 @@ class ConsensusInstance:
     def decided_value(self) -> Any:
         """The decided value (``None`` until :attr:`decided`)."""
         return self.state.decided_value
+
+    # ------------------------------------------------------------------ storage --
+    def restore_acceptor_state(
+        self, promised: int, accepted_ballot: int, accepted_value: Any
+    ) -> None:
+        """Rehydrate the acceptor fields from stable storage (recovery path)."""
+        state = self.state
+        state.promised_ballot = promised
+        state.accepted_ballot = accepted_ballot
+        state.accepted_value = accepted_value
+
+    def _persist_acceptor(self) -> None:
+        """Write the acceptor state through to stable storage (write-ahead)."""
+        state = self.state
+        self._store.put(
+            ("acceptor", state.instance),
+            (state.promised_ballot, state.accepted_ballot, state.accepted_value),
+        )
 
     # ------------------------------------------------------------------ proposer --
     def start_proposal(self, env: Environment, value: Any, attempt: int) -> None:
@@ -141,6 +178,10 @@ class ConsensusInstance:
         state = self.state
         if message.ballot > state.promised_ballot:
             state.promised_ballot = message.ballot
+            if self._store is not None:
+                # Durable before the Promise leaves: a restart must never make
+                # this acceptor re-promise a lower ballot.
+                self._persist_acceptor()
             env.send(
                 sender,
                 Promise(
@@ -168,6 +209,10 @@ class ConsensusInstance:
             state.promised_ballot = message.ballot
             state.accepted_ballot = message.ballot
             state.accepted_value = message.value
+            if self._store is not None:
+                # Durable before the Accepted leaves: an accepted value a
+                # quorum may rely on must survive this process's restarts.
+                self._persist_acceptor()
             env.send(
                 sender,
                 Accepted(

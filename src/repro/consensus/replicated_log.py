@@ -64,10 +64,24 @@ indulgent protocol already tolerates.  Rejection happens *before* the consensus
 state machine sees the message, so a garbled value can never be promised,
 accepted, decided, learnt through catch-up or applied.
 
-All hot paths are O(1) amortised: the first undecided position is tracked by a
-contiguous-prefix cursor, decided values are indexed by a set (falling back to an
-equality scan only for unhashable legacy values), and the delivered prefix is
-materialised incrementally.
+Stable storage
+--------------
+By default a crashed replica restarts empty and converges through catch-up —
+crash recovery *without* stable storage, with the quorum-amnesia caveat that a
+restarted acceptor forgets its promises.  Attaching a
+:class:`~repro.storage.stable_store.StableStore` (:meth:`attach_storage`, done
+by the :class:`~repro.simulation.system.System` when built with ``storage=``)
+makes the log durable: acceptor state is written through by each
+:class:`~repro.consensus.instance.ConsensusInstance` before its replies leave,
+every decided position is persisted under ``("decided", pos)`` before it is
+indexed, and per-position proposal attempts under ``("attempt", pos)`` so a
+restarted proposer never reuses one of its own ballots for a different value.
+Attaching a non-empty store (the recovery path) **rehydrates** the new
+incarnation: decided positions are replayed in log order (driving
+``on_deliver``, which rebuilds the state machine and its exactly-once session
+table), then the surviving acceptor states and attempt counters are restored.
+Pending/forwarded submissions are deliberately volatile — losing them is
+message loss, which client retransmission already covers.
 """
 
 from __future__ import annotations
@@ -201,6 +215,11 @@ class ReplicatedLog(Process):
         self._decided_index = _ValueIndex()
         self._delivered: List[Any] = []
 
+        # Stable storage (attach_storage); _rehydrating suppresses re-persisting
+        # state that is being replayed *from* the store.
+        self._store = None
+        self._rehydrating = False
+
     # ------------------------------------------------------------------ client API --
     def submit(self, value: Any) -> None:
         """Submit a command for total-order delivery (callable from outside handlers).
@@ -230,6 +249,51 @@ class ReplicatedLog(Process):
         for value in self._delivered:
             commands.extend(flatten_value(value))
         return commands
+
+    # ------------------------------------------------------------------ storage --
+    def attach_storage(self, store) -> None:
+        """Attach a :class:`~repro.storage.stable_store.StableStore` and
+        rehydrate from it.
+
+        Must be called before the process starts taking steps (the system does
+        this right after building the algorithm, both at boot and at recovery).
+        A non-empty store is the recovery path: decided positions are replayed
+        in log order — through :meth:`_on_decide`, so ``on_deliver`` rebuilds
+        the state machine exactly as the dead incarnation built it — and then
+        the persisted acceptor states and proposal attempts are restored.
+        """
+        if self._store is not None:
+            raise RuntimeError("a stable store is already attached to this log")
+        self._store = store
+        self._rehydrating = True
+        try:
+            for (_, position), value in store.items_with_prefix("decided"):
+                self._instance(position).learn(None, value)
+            for (_, position), state in store.items_with_prefix("acceptor"):
+                promised, accepted_ballot, accepted_value = state
+                self._instance(position).restore_acceptor_state(
+                    promised, accepted_ballot, accepted_value
+                )
+            for (_, position), attempt in store.items_with_prefix("attempt"):
+                self._attempts[position] = attempt
+        finally:
+            self._rehydrating = False
+
+    def lifetime_counters(self) -> Dict[str, int]:
+        """Monotone counters the shell carries across incarnations.
+
+        A recovery rebuilds the algorithm object, resetting every per-replica
+        counter; :meth:`~repro.simulation.process.SimProcessShell.recover`
+        harvests these from the dying incarnation so whole-run totals (e.g.
+        :meth:`~repro.service.sharding.ShardedService.corruption_rejections`)
+        stay monotonic.  Only counters that rehydration/catch-up does *not*
+        reconstruct belong here — ``commands_delivered`` is recounted when the
+        new incarnation replays the log, so carrying it would double-count.
+        """
+        return {
+            "corrupt_rejected": self.corrupt_rejected,
+            "proposals_started": self.proposals_started,
+        }
 
     # ------------------------------------------------------------------ lifecycle --
     def on_start(self, env: Environment) -> None:
@@ -278,6 +342,7 @@ class ReplicatedLog(Process):
                 quorum=self.quorum,
                 instance=instance_id,
                 on_decide=self._on_decide,
+                store=self._store,
             )
             self._instances[instance_id] = instance
         return instance
@@ -286,6 +351,10 @@ class ReplicatedLog(Process):
         return value in self._decided_index
 
     def _on_decide(self, instance_id: int, value: Any) -> None:
+        if self._store is not None and not self._rehydrating:
+            # Durable before the decision is indexed or applied: the decided
+            # prefix must survive this process's restarts.
+            self._store.put(("decided", instance_id), value)
         self.decisions[instance_id] = value
         if instance_id > self._max_decided:
             self._max_decided = instance_id
@@ -382,6 +451,10 @@ class ReplicatedLog(Process):
             return
         attempt = self._attempts.get(position, 0) + 1
         self._attempts[position] = attempt
+        if self._store is not None:
+            # Durable before the Prepare leaves: a restarted proposer must not
+            # reuse one of its own ballots for a different value.
+            self._store.put(("attempt", position), attempt)
         self._last_attempt_time[position] = env.now
         self.proposals_started += 1
         instance.start_proposal(env, value, attempt)

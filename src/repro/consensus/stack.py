@@ -70,6 +70,18 @@ class OmegaConsensusStack(CompositeProcess, LeaderOracle):
         """Delegate to the co-located oracle (lets system helpers poll leaders)."""
         return self.omega.leader()
 
+    def attach_storage(self, store) -> None:
+        """Attach a stable store to the replicated log (rehydrating from it).
+
+        The Omega oracle keeps no durable state — its suspicion counters are
+        soft state the ALIVE exchange rebuilds — so only the log persists.
+        """
+        self.log.attach_storage(store)
+
+    def lifetime_counters(self):
+        """Monotone counters the shell carries across incarnations."""
+        return self.log.lifetime_counters()
+
     def submit(self, value) -> None:
         """Submit a command to the replicated log."""
         self.log.submit(value)

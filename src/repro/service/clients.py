@@ -188,6 +188,11 @@ class ClosedLoopClient:
         sequence number) through a fresh gateway.
     think_time:
         Pause between a completion and the next issue (0 = saturating client).
+    stop_at:
+        Optional virtual time after which no *new* command is issued (the one
+        in flight still completes and is retried as usual).  Lets a run
+        quiesce before final state is compared — benchmarks use it so their
+        end-of-run digests are not sampled mid-broadcast.
     """
 
     def __init__(
@@ -199,6 +204,7 @@ class ClosedLoopClient:
         poll_interval: float = 1.0,
         retry_timeout: float = 40.0,
         think_time: float = 0.0,
+        stop_at: Optional[float] = None,
     ) -> None:
         require_positive(poll_interval, "poll_interval")
         require_positive(retry_timeout, "retry_timeout")
@@ -209,6 +215,7 @@ class ClosedLoopClient:
         self.poll_interval = poll_interval
         self.retry_timeout = retry_timeout
         self.think_time = think_time
+        self.stop_at = stop_at
         self.stats = ClientStats()
         self.seq = 0
         self.gateway = rng.randint(0, service.n - 1)
@@ -223,6 +230,8 @@ class ClosedLoopClient:
         self.service.scheduler.schedule_after(delay, self._issue_next)
 
     def _issue_next(self) -> None:
+        if self.stop_at is not None and self.service.now >= self.stop_at:
+            return  # quiesced: the session is over, issue nothing new
         op, key, args = self.workload.next_operation(self.rng)
         self.seq += 1
         command = Command(
@@ -269,6 +278,7 @@ def start_clients(
     retry_timeout: float = 40.0,
     think_time: float = 0.0,
     stagger: float = 1.0,
+    stop_at: Optional[float] = None,
 ) -> List[ClosedLoopClient]:
     """Create and start *num_clients* closed-loop clients with staggered arrivals."""
     require_positive(num_clients, "num_clients")
@@ -282,6 +292,7 @@ def start_clients(
             poll_interval=poll_interval,
             retry_timeout=retry_timeout,
             think_time=think_time,
+            stop_at=stop_at,
         )
         client.start(delay=stagger * index / max(1, num_clients))
         clients.append(client)

@@ -13,6 +13,13 @@ replicated log checksum-verifies every delivery and drops tampered ones (see
 :attr:`ServiceReplica.corruption_rejections`), so only commands whose integrity
 verified are ever ordered or applied — replicas cannot diverge under
 :class:`~repro.simulation.faults.CorruptLink` faults.
+
+Under stable storage (``ShardedService(stable_storage=True)``) a recovered
+replica rehydrates before it starts: ``attach_storage`` (inherited from the
+stack) replays the persisted decided prefix through ``on_deliver``, which
+rebuilds the key-value state *and* the exactly-once session table — so a
+client command applied before the crash reads as applied immediately after
+recovery, and its retransmission is absorbed as a duplicate, not re-executed.
 """
 
 from __future__ import annotations
@@ -56,6 +63,7 @@ class ServiceReplica(OmegaConsensusStack):
         )
         self.state_machine = state_machine if state_machine is not None else KeyValueStore()
         #: Commands applied to the state machine (includes absorbed duplicates).
+        #: Recounted by replay when a recovery rehydrates from stable storage.
         self.commands_delivered = 0
         self.log.on_deliver = self._apply_delivered
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import zlib
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Callable, Dict, List, Optional, Tuple, Type, Union
 
 from repro.assumptions.base import Scenario
 from repro.assumptions.scenarios import IntermittentRotatingStarScenario
@@ -30,6 +30,7 @@ from repro.simulation.crash import CrashSchedule
 from repro.simulation.faults import DEFAULT_ROUND_RESYNC_GAP, FaultPlan
 from repro.simulation.scheduler import EventScheduler
 from repro.simulation.system import System, SystemConfig
+from repro.storage.stable_store import StableStorage, WriteCostModel
 from repro.util.rng import RandomSource, derive_seed
 from repro.util.validation import require_positive
 
@@ -80,6 +81,19 @@ class ShardedService:
         Commands the shard leader packs into one consensus instance.
     seed:
         Master seed; every shard derives an independent stream from it.
+    stable_storage:
+        Durability of the consensus layer.  ``False`` (the default) keeps the
+        storage-less crash-recovery model — pure crash-stop runs stay
+        byte-identical to their committed fingerprints, and restarts carry the
+        quorum-amnesia hazard, which is recorded per shard in
+        :attr:`amnesia_hazards`.  ``True`` gives every replica a durable
+        :class:`~repro.storage.stable_store.StableStore` (free writes) that its
+        recoveries rehydrate from; a
+        :class:`~repro.storage.stable_store.WriteCostModel` instance does the
+        same *and* charges each durable write on the virtual clock (fsync
+        before reply).  Adversaries injecting recoveries at run time are only
+        amnesia-safe with storage on — the static hazard check cannot see
+        their future injections.
     """
 
     def __init__(
@@ -97,6 +111,7 @@ class ShardedService:
         seed: int = 0,
         omega_cls: Type[RotatingStarOmegaBase] = Figure3Omega,
         state_machine_factory: Callable[[], StateMachine] = KeyValueStore,
+        stable_storage: Union[bool, WriteCostModel] = False,
     ) -> None:
         require_positive(num_shards, "num_shards")
         if crash_schedule_factory is not None and fault_plan_factory is not None:
@@ -112,9 +127,25 @@ class ShardedService:
         self.router = ShardRouter(num_shards)
         self.scheduler = EventScheduler()
         self.systems: List[System] = []
+        #: Per-shard stable storage registries, or ``None`` (the default) for
+        #: the storage-less crash-recovery model.
+        self.storages: Optional[List[StableStorage]] = None
+        self._write_cost_model: Optional[WriteCostModel] = None
+        if stable_storage:
+            self._write_cost_model = (
+                stable_storage if isinstance(stable_storage, WriteCostModel) else None
+            )
+            self.storages = [
+                StableStorage(cost_model=self._write_cost_model)
+                for _ in range(self.num_shards)
+            ]
         #: shard -> descriptions of how its fault plan permanently breaks the
         #: shard's assumption (empty lists when every plan is assumption-safe).
         self.assumption_violations: Dict[int, List[str]] = {}
+        #: shard -> quorum-amnesia hazards of its static plan when storage is
+        #: off (always empty with ``stable_storage`` on — persisted promises
+        #: make restarts memory-preserving).  See ``FaultPlan.amnesia_hazards``.
+        self.amnesia_hazards: Dict[int, List[str]] = {}
         # Per-shard correct-replica lists, keyed by the shard system's fault
         # epoch: a Recover event replaces algorithm objects, so the cache must
         # be refreshed whenever the fault state changes — see correct_replicas().
@@ -139,6 +170,9 @@ class ShardedService:
                 fault_plan = FaultPlan.none()
             self.assumption_violations[shard] = scenario.fault_plan_violations(
                 fault_plan
+            )
+            self.amnesia_hazards[shard] = (
+                [] if self.storages is not None else fault_plan.amnesia_hazards(n, t)
             )
             if (
                 fault_plan.needs_round_resync() or adversary is not None
@@ -172,6 +206,7 @@ class ShardedService:
                     delay_model=scenario.build_delay_model(),
                     fault_plan=fault_plan,
                     scheduler=self.scheduler,
+                    storage=self.storages[shard] if self.storages is not None else None,
                 )
             )
 
@@ -304,29 +339,49 @@ class ShardedService:
     def corrupted_deliveries(self) -> int:
         """Tampered messages handed to an alive replica, across all shards.
 
-        Every one of these was rejected at the consensus/service boundary —
-        the count is network-side, so it survives crash-recovery (which resets
-        the per-replica rejection counters along with the rest of a recovered
-        replica's state).
+        Every one of these was rejected at the consensus/service boundary.
+        The count is network-side and therefore trivially recovery-proof; the
+        replica-side view :meth:`corruption_rejections` now matches it across
+        recoveries too (retired incarnations' counters are carried over by the
+        shells).
         """
         return sum(system.stats.corrupted_delivered for system in self.systems)
 
     def corruption_rejections(self) -> int:
-        """Boundary rejections counted by the replicas' *current* incarnations.
+        """Whole-run boundary rejections, monotonic across recoveries.
 
-        Matches :meth:`corrupted_deliveries` exactly while no replica has
-        recovered; after a recovery the replica's counter restarts from zero
-        with the rest of its state (crash recovery without stable storage), so
-        this may undercount — use :meth:`corrupted_deliveries` for whole-run
-        accounting.
+        A recovery rebuilds a replica's algorithm object, resetting its
+        ``corrupt_rejected`` counter; the shell harvests the dying
+        incarnation's monotone counters (``lifetime_counters()``) into
+        ``SimProcessShell.retired_counters``, and this total adds them back —
+        so it matches :meth:`corrupted_deliveries` exactly even after replicas
+        have restarted, with or without stable storage.
         """
         total = 0
         for system in self.systems:
             for shell in system.shells:
+                total += shell.retired_counters.get("corrupt_rejected", 0)
                 log = getattr(shell.algorithm, "log", None)
                 if log is not None:
                     total += log.corrupt_rejected
         return total
+
+    def storage_writes(self) -> int:
+        """Durable writes across all shards (0 with ``stable_storage`` off)."""
+        if self.storages is None:
+            return 0
+        return sum(storage.total_writes for storage in self.storages)
+
+    def storage_cost(self) -> float:
+        """Virtual-time write cost charged across all shards.
+
+        Non-zero only when ``stable_storage`` was given as a
+        :class:`~repro.storage.stable_store.WriteCostModel` — the free-write
+        mode persists without touching the clock.
+        """
+        if self.storages is None:
+            return 0.0
+        return sum(storage.total_cost for storage in self.storages)
 
     def total_instances(self) -> int:
         """Decided non-noop consensus instances across all shards."""

@@ -44,10 +44,17 @@ Semantics
 * Reachability is decided at **send** time: a message already in flight when a
   partition starts is still delivered (the send completed), and a message sent
   into a partition is lost even if the partition heals before its delivery time.
-* A recovered process restarts its algorithm **from its initial state** (crash
-  recovery without stable storage): the :class:`~repro.simulation.system.System`
-  rebuilds the algorithm object through its process factory.  Timers armed by a
-  previous incarnation never fire after recovery.
+* A recovered process restarts its algorithm **from its initial state** by
+  default (crash recovery without stable storage): the
+  :class:`~repro.simulation.system.System` rebuilds the algorithm object
+  through its process factory.  When the system runs with stable storage
+  (``System(storage=...)`` / ``ShardedService(stable_storage=True)``), the new
+  incarnation is rehydrated from its durable store instead.  Timers armed by a
+  previous incarnation never fire after recovery.  Without storage, restarts
+  carry the **quorum-amnesia hazard** — a restarted acceptor forgets its
+  promises, so enough restarts can silently shrink a promise quorum and break
+  agreement; :meth:`FaultPlan.amnesia_hazards` flags plans that can reach that
+  state, and ``validate(..., require_quorum_memory=True)`` rejects them.
 * ``correct`` means *eventually up*: a process is correct under a plan when its
   final state — after every crash and recovery the plan contains — is up.  For
   pure crash plans this coincides with the crash-stop notion.
@@ -628,13 +635,62 @@ class FaultPlan:
                 corrupting.discard((event.sender, event.dest))
         return sorted(corrupting)
 
-    def validate(self, n: int, t: int) -> None:
+    def restarted_ids(self) -> List[int]:
+        """Processes the plan restarts at least once (sorted).
+
+        Without stable storage these are the *amnesic* acceptors: each restart
+        wipes the promises and accepted values of its process.
+        """
+        return sorted({event.pid for event in self.events if type(event) is Recover})
+
+    def amnesia_hazards(self, n: int, t: int) -> List[str]:
+        """Explain how the plan can break agreement when storage is off.
+
+        Consensus safety rests on quorum intersection: any two quorums of size
+        ``n - t`` share at least ``n - 2t`` acceptors, and at least one of them
+        must *remember* the accepted value of an earlier ballot.  A restart
+        without stable storage wipes that memory, so once the plan restarts
+        ``n - 2t`` or more distinct processes, there exist two quorums whose
+        entire intersection is amnesic — a later ballot can then miss an
+        accepted value and decide differently (the quorum-amnesia hazard; see
+        ``tests/integration/test_quorum_amnesia.py`` for a deterministic
+        schedule).  The check is deliberately conservative: it counts restarted
+        processes, not whether message timing actually exploits them.
+
+        Returns human-readable hazard descriptions — empty when the plan is
+        amnesia-safe or when the system runs with stable storage (persisted
+        promises make restarts memory-preserving, so the hazard vanishes; the
+        sharded service only records hazards with its ``stable_storage`` knob
+        off).
+        """
+        validate_process_count(n, t)
+        restarted = self.restarted_ids()
+        threshold = n - 2 * t
+        if not restarted or len(restarted) < threshold:
+            return []
+        return [
+            f"plan restarts {len(restarted)} processes {restarted} without stable "
+            f"storage; any {threshold} of them can cover a quorum intersection "
+            f"(quorums of {n - t} out of n={n} overlap in >= {threshold}), so "
+            "back-to-back restarts can silently shrink a promise quorum and "
+            "break agreement"
+        ]
+
+    def validate(self, n: int, t: int, require_quorum_memory: bool = False) -> None:
         """Check the plan against the system parameters.
 
         Raises ``ValueError`` when a pid is out of range, a :class:`Recover`
         targets a process that is not down, or more than ``t`` processes are down
         at any instant (the crash budget of ``AS_{n,t}``, generalised to
         crash-recovery as a bound on *concurrently* down processes).
+
+        With ``require_quorum_memory=True`` the plan is additionally rejected
+        when :meth:`amnesia_hazards` is non-empty — the admission mode for
+        systems that run consensus *without* stable storage and cannot afford
+        restarts eating into quorum intersections.  Leave it off (the default)
+        when storage is on, or for workloads above the consensus layer's
+        safety concerns (e.g. plain Omega runs, where restarts only delay
+        stabilisation).
         """
         validate_process_count(n, t)
 
@@ -679,6 +735,13 @@ class FaultPlan:
                 check_pid(event.dest, "corrupting link dest")
             elif kind is SlowProcess:
                 check_pid(event.pid, "slowed")
+        if require_quorum_memory:
+            hazards = self.amnesia_hazards(n, t)
+            if hazards:
+                raise ValueError(
+                    "plan is amnesia-unsafe without stable storage: "
+                    + "; ".join(hazards)
+                )
 
     def describe(self) -> str:
         """Human-readable one-line description (used in reports and demos)."""
@@ -874,6 +937,12 @@ class FaultInjector:
         self._system = system
         self.plan = plan
         self.link_state: Optional[LinkState] = None
+        #: Events that could not be applied at their scheduled time (e.g. a
+        #: Recover whose target is not crashed because a same-timestamp race
+        #: reordered it after injection): human-readable descriptions, mirroring
+        #: adversary refusals.  Such events changed nothing — they must not be
+        #: read as applied.
+        self.rejections: List[str] = []
         # Monotone tokens guarding the auto-heals of `until`-bearing faults: a
         # scheduled heal only fires if no newer fault re-faulted the same link
         # (or re-slowed the same process) in the meantime.
@@ -934,7 +1003,10 @@ class FaultInjector:
         if kind is Crash:
             system._apply_crash(event.pid)
         elif kind is Recover:
-            system._apply_recover(event.pid)
+            if not system._apply_recover(event.pid):
+                self.rejections.append(
+                    f"{event.describe()} rejected: process {event.pid} is not crashed"
+                )
         elif kind is PartitionStart:
             self._ensure_link_state().set_partition(event.groups, system.config.n)
             system._bump_fault_epoch()

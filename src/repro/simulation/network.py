@@ -319,8 +319,16 @@ class Network:
         return self._link_state
 
     # ------------------------------------------------------------------ transport --
-    def send(self, sender: int, dest: int, message: Message) -> Optional[Envelope]:
+    def send(
+        self, sender: int, dest: int, message: Message, extra_delay: float = 0.0
+    ) -> Optional[Envelope]:
         """Send *message* from *sender* to *dest*.
+
+        ``extra_delay`` is added to the drawn delay (after link adjustments);
+        the stable-storage layer uses it to charge durable-write costs on the
+        messages of the writing handler turn (fsync before reply).  It never
+        affects loss decisions or RNG draws, so passing 0.0 is byte-identical
+        to not passing it.
 
         Returns the in-flight :class:`Envelope`, or ``None`` when the delay model
         dropped the message (lossy links only).
@@ -330,11 +338,21 @@ class Network:
         tag = unwrap_tag(message)
         self.stats.record_sent(tag, sender)
         return self._dispatch(
-            sender, dest, message, tag, unwrap_round_number(message), self._scheduler.now
+            sender,
+            dest,
+            message,
+            tag,
+            unwrap_round_number(message),
+            self._scheduler.now,
+            extra_delay,
         )
 
     def broadcast(
-        self, sender: int, dests: Sequence[int], message: Message
+        self,
+        sender: int,
+        dests: Sequence[int],
+        message: Message,
+        extra_delay: float = 0.0,
     ) -> List[Optional[Envelope]]:
         """Send *message* from *sender* to every process in *dests*.
 
@@ -360,7 +378,10 @@ class Network:
         now = self._scheduler.now
         self.stats.record_sent(tag, sender, count=len(dests))
         dispatch = self._dispatch
-        return [dispatch(sender, dest, message, tag, rn, now) for dest in dests]
+        return [
+            dispatch(sender, dest, message, tag, rn, now, extra_delay)
+            for dest in dests
+        ]
 
     def _dispatch(
         self,
@@ -370,6 +391,7 @@ class Network:
         tag: str,
         round_number: Optional[int],
         send_time: float,
+        extra_delay: float = 0.0,
     ) -> Optional[Envelope]:
         """Decide the delay of one (message, destination) pair and schedule delivery.
 
@@ -417,6 +439,10 @@ class Network:
                 f"delay model {self.delay_model.describe()} returned negative delay "
                 f"{delay} for {tag} {sender}->{dest}"
             )
+        if extra_delay:
+            # Stable-storage write cost: the sender fsynced before this send,
+            # so the message leaves — and arrives — that much later.
+            delay += extra_delay
         corrupted = False
         if link_state is not None:
             # Corrupting links tamper with the payload but still deliver: the

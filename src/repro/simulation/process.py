@@ -7,8 +7,10 @@ timers, its links and its local randomness, and enforces the failure model: once
 :meth:`crash` has been called the process takes no further steps — no timer fires,
 no message is delivered, nothing is sent — until (in crash-recovery plans) the
 fault injector calls :meth:`recover` with a freshly built algorithm object, which
-restarts the process from its initial state under a new *incarnation*.  Timers
-armed by a previous incarnation never fire after a recovery.
+restarts the process under a new *incarnation* — from its initial state, or from
+its rehydrated durable state when the system runs with stable storage
+(:mod:`repro.storage`).  Timers armed by a previous incarnation never fire after
+a recovery.
 
 Hot-path design
 ---------------
@@ -71,6 +73,14 @@ class SimProcessShell(Environment):
         #: cumulative across incarnations.
         self.messages_sent = 0
         self.messages_received = 0
+        #: Monotone protocol counters harvested from dead incarnations (see
+        #: :meth:`recover`); empty in every crash-stop run.
+        self.retired_counters: dict = {}
+        # Stable-storage write cost accrued during the current handler turn
+        # (identified by the scheduler's executed-event count); added to the
+        # delay of every message this turn still sends — fsync before reply.
+        self._write_debt = 0.0
+        self._write_debt_turn = -1
 
         network.register(pid, self._deliver, self.is_alive)
 
@@ -124,16 +134,30 @@ class SimProcessShell(Environment):
     def recover(self, algorithm: Process) -> None:
         """Restart the crashed process with the freshly built *algorithm*.
 
-        Models crash recovery without stable storage: the new incarnation starts
-        from the algorithm's initial state (the system rebuilds it through the
-        process factory).  Timers armed before the crash are lazily discarded by
-        the incarnation check in :meth:`_fire_timer`; messages that were in
-        flight towards this process when it was down are delivered to the new
-        incarnation if their delivery time falls after the recovery (the link
-        held them), exactly like messages sent to a process that never crashed.
+        The new incarnation starts from the state of the *algorithm* object the
+        system hands over: factory-fresh under crash recovery without stable
+        storage, or rehydrated from the process's
+        :class:`~repro.storage.stable_store.StableStore` when the system was
+        built with ``storage=`` (the system attaches the store — replaying the
+        durable state — before calling this).  Timers armed before the crash
+        are lazily discarded by the incarnation check in :meth:`_fire_timer`;
+        messages that were in flight towards this process when it was down are
+        delivered to the new incarnation if their delivery time falls after the
+        recovery (the link held them), exactly like messages sent to a process
+        that never crashed.
+
+        Before the swap, the dying incarnation's monotone protocol counters
+        (``lifetime_counters()``, when the algorithm exposes it) are harvested
+        into :attr:`retired_counters`, so whole-run accounting that sums
+        per-replica counters stays monotonic across recoveries.
         """
         if not self.crashed:
             return
+        harvest = getattr(self.algorithm, "lifetime_counters", None)
+        if harvest is not None:
+            retired = self.retired_counters
+            for name, value in harvest().items():
+                retired[name] = retired.get(name, 0) + int(value)
         self.recoveries += 1
         self.crashed = False
         self.crash_time = None
@@ -147,12 +171,49 @@ class SimProcessShell(Environment):
         if not self.crashed:
             self.algorithm.on_stop(self)
 
+    # ------------------------------------------------------------------ storage --
+    def charge_storage_write(self, cost: float) -> None:
+        """Charge a durable write's *cost* on the virtual clock.
+
+        Bound by the system to this process's stable store (see
+        :meth:`~repro.storage.stable_store.StableStore.bind_charge`): the costs
+        of the writes performed during the current handler turn accumulate and
+        are added to the delay of every message the turn still sends — the
+        discrete-event rendering of *fsync before reply*.  Debt never leaks
+        across turns (virtual time between events absorbs the stall), and
+        timers are unaffected (a local clock ticks through an fsync).
+        """
+        if cost <= 0.0:
+            return
+        turn = self._scheduler.executed
+        if turn != self._write_debt_turn:
+            self._write_debt = 0.0
+            self._write_debt_turn = turn
+        self._write_debt += cost
+
+    def _pending_write_debt(self) -> float:
+        """Write cost accrued in the current handler turn (0.0 on the hot path).
+
+        Stale debt from an earlier turn is zeroed here, so the ``_write_debt``
+        fast-path check in :meth:`send` / :meth:`broadcast` goes back to a
+        single falsy read once the writing turn is over.
+        """
+        if self._write_debt_turn == self._scheduler.executed:
+            return self._write_debt
+        self._write_debt = 0.0
+        return 0.0
+
     # ------------------------------------------------------------------ messaging --
     def send(self, dest: int, message: Message) -> None:
         if self.crashed:
             return
         self.messages_sent += 1
-        self._network.send(self._pid, dest, message)
+        if self._write_debt:
+            self._network.send(
+                self._pid, dest, message, extra_delay=self._pending_write_debt()
+            )
+        else:
+            self._network.send(self._pid, dest, message)
 
     def broadcast(self, message: Message, include_self: bool = False) -> None:
         """Send *message* to every process through the network's native fan-out.
@@ -165,7 +226,12 @@ class SimProcessShell(Environment):
             return
         dests = self._process_ids if include_self else self._peers
         self.messages_sent += len(dests)
-        self._network.broadcast(self._pid, dests, message)
+        if self._write_debt:
+            self._network.broadcast(
+                self._pid, dests, message, extra_delay=self._pending_write_debt()
+            )
+        else:
+            self._network.broadcast(self._pid, dests, message)
 
     def _deliver(self, sender: int, message: Message) -> None:
         if self.crashed:

@@ -16,7 +16,7 @@ a thin adapter).  It is the object every test, example and benchmark drives:
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.core.interfaces import LeaderOracle, Process
 from repro.simulation.crash import CrashSchedule
@@ -27,6 +27,9 @@ from repro.simulation.process import SimProcessShell
 from repro.simulation.scheduler import EventScheduler
 from repro.util.rng import RandomSource
 from repro.util.validation import require_non_negative, validate_process_count
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.storage.stable_store import StableStorage
 
 #: Factory building the algorithm object of process ``pid``.
 ProcessFactory = Callable[[int], Process]
@@ -72,6 +75,7 @@ class System:
         tracer: Optional[object] = None,
         scheduler: Optional[EventScheduler] = None,
         fault_plan: Optional[FaultPlan] = None,
+        storage: Optional["StableStorage"] = None,
     ) -> None:
         if crash_schedule is not None and fault_plan is not None:
             raise ValueError(
@@ -82,6 +86,9 @@ class System:
             fault_plan = FaultPlan.crash_stop(crash_schedule or CrashSchedule.none())
         self.fault_plan = fault_plan
         self.fault_plan.validate(config.n, config.t)
+        #: Optional stable storage; when set, each algorithm is attached to its
+        #: process's durable store at boot and rehydrated from it at recovery.
+        self.storage = storage
         # Legacy crash_schedule view: derived lazily per fault epoch (see the
         # property) so run-time injected crashes show up in it.
         self._crash_schedule_view: Optional[CrashSchedule] = None
@@ -116,6 +123,8 @@ class System:
                 tracer=tracer,
             )
             self.shells.append(shell)
+            if storage is not None:
+                self._attach_storage(shell, algorithm)
 
         start_rng = self._master_rng.child("start-jitter")
         for shell in self.shells:
@@ -187,23 +196,51 @@ class System:
     def _bump_fault_epoch(self) -> None:
         self._fault_epoch += 1
 
+    def _attach_storage(self, shell: SimProcessShell, algorithm: Process) -> None:
+        """Wire *algorithm* to its process's durable store (boot and recovery).
+
+        The store outlives incarnations (it belongs to :attr:`storage`, not to
+        the algorithm), its write-cost charging is bound to the shell, and the
+        algorithm rehydrates inside ``attach_storage`` — empty at boot, the
+        dead incarnation's durable state at recovery.
+        """
+        attach = getattr(algorithm, "attach_storage", None)
+        if attach is None:
+            raise TypeError(
+                f"storage= requires algorithms exposing attach_storage(); "
+                f"{type(algorithm).__name__} does not"
+            )
+        store = self.storage.store_for(shell.pid)
+        store.bind_charge(shell.charge_storage_write)
+        attach(store)
+
     def _apply_crash(self, pid: int) -> None:
         """Crash *pid* (called by the fault injector)."""
         self.shells[pid].crash()
         self._fault_epoch += 1
 
-    def _apply_recover(self, pid: int) -> None:
-        """Recover *pid* with a freshly built algorithm (called by the injector).
+    def _apply_recover(self, pid: int) -> bool:
+        """Recover *pid* with a newly built algorithm (called by the injector).
 
-        The new incarnation starts from the algorithm's initial state; every
-        cached view holding the old algorithm object (e.g. a sharded service's
+        The new incarnation starts from the algorithm's initial state — or,
+        when the system runs with stable storage, rehydrated from the process's
+        durable store before it takes its first step.  Every cached view
+        holding the old algorithm object (e.g. a sharded service's
         ``correct_replicas``) is invalidated through the fault epoch.
+
+        Returns ``False`` (leaving the system untouched) when *pid* is not
+        crashed; the injector records that as a rejected event rather than
+        counting it as applied.
         """
         shell = self.shells[pid]
         if not shell.crashed:
-            return
-        shell.recover(self._process_factory(pid))
+            return False
+        algorithm = self._process_factory(pid)
+        if self.storage is not None:
+            self._attach_storage(shell, algorithm)
+        shell.recover(algorithm)
         self._fault_epoch += 1
+        return True
 
     # ------------------------------------------------------------------ accessors --
     def shell(self, pid: int) -> SimProcessShell:

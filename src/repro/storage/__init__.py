@@ -1,0 +1,9 @@
+"""Stable-storage subsystem: durable per-process state for crash-recovery.
+
+See :mod:`repro.storage.stable_store` for the model and the persistence schema
+the consensus layer uses.
+"""
+
+from repro.storage.stable_store import StableStorage, StableStore, WriteCostModel
+
+__all__ = ["StableStorage", "StableStore", "WriteCostModel"]

@@ -208,6 +208,59 @@ class TestRecovery:
         assert permanent.correct_ids() == [0, 2, 3]
 
 
+class TestInjectorRejections:
+    def test_recover_of_uncrashed_process_is_recorded_not_applied(self):
+        """Regression: ``System._apply_recover`` used to return silently when
+        the target was not crashed, so the event read as applied while the
+        system was untouched.  The injector now records it as a rejection,
+        mirroring adversary refusals."""
+        system = build()
+        system.run_until(5.0)
+        assert system.injector.rejections == []
+        epoch_before = system.fault_epoch
+        shell = system.shell(1)
+        incarnation_before = shell.algorithm
+        system.injector._apply(Recover(time=5.0, pid=1))
+        assert len(system.injector.rejections) == 1
+        assert "not crashed" in system.injector.rejections[0]
+        assert "recover(p1)" in system.injector.rejections[0]
+        # The rejected event changed nothing: same incarnation, same epoch.
+        assert shell.algorithm is incarnation_before
+        assert shell.recoveries == 0
+        assert system.fault_epoch == epoch_before
+
+    def test_applied_recover_leaves_no_rejection(self):
+        plan = FaultPlan([Crash(time=10.0, pid=1), Recover(time=30.0, pid=1)])
+        system = build(fault_plan=plan)
+        system.run_until(60.0)
+        assert system.shell(1).recoveries == 1
+        assert system.injector.rejections == []
+
+
+class TestAmnesiaAdmission:
+    def test_restarts_covering_a_quorum_intersection_are_flagged(self):
+        plan = FaultPlan.rolling_restarts([1, 2], start=10.0, downtime=5.0)
+        assert plan.restarted_ids() == [1, 2]
+        hazards = plan.amnesia_hazards(4, 1)  # quorums of 3 overlap in >= 2
+        assert len(hazards) == 1
+        assert "shrink a promise quorum" in hazards[0]
+
+    def test_fewer_restarts_than_the_intersection_are_safe(self):
+        plan = FaultPlan.rolling_restarts([1], start=10.0, downtime=5.0)
+        assert plan.amnesia_hazards(4, 1) == []  # 1 restart < n - 2t = 2
+        plan.validate(4, 1, require_quorum_memory=True)  # must not raise
+
+    def test_require_quorum_memory_rejects_unsafe_plans(self):
+        plan = FaultPlan.rolling_restarts([1, 2], start=10.0, downtime=5.0)
+        plan.validate(4, 1)  # budget-valid as before
+        with pytest.raises(ValueError, match="amnesia-unsafe"):
+            plan.validate(4, 1, require_quorum_memory=True)
+
+    def test_crash_stop_plans_are_never_flagged(self):
+        assert FaultPlan.crashes({0: 5.0}).amnesia_hazards(4, 1) == []
+        assert FaultPlan.none().amnesia_hazards(4, 1) == []
+
+
 class TestCorrectShellCacheInvalidation:
     def test_cache_refreshed_after_recover_event(self):
         """Regression: the correct-shell cache must not outlive a Recover.
