@@ -7,7 +7,7 @@ Unlike the E1-E10 benchmarks (which regenerate the paper's experiment tables in
 It is the perf trajectory of the repository — every run writes ``BENCH_PERF.json``
 at the repo root so successive PRs can show before/after numbers.
 
-Three workloads are measured:
+Four workloads are measured:
 
 * ``omega_broadcast`` — an n-process Figure 3 Omega system under uniform delays.
   Every process broadcasts ALIVE every period and SUSPICION every round, so the
@@ -18,6 +18,13 @@ Three workloads are measured:
   storage with a write-cost model, plus a rolling restart per shard); its
   events/sec relative to ``sharded_service`` is the tracked durability
   overhead.
+* ``sharded_service_compaction`` — a *long-horizon* service run (an order of
+  magnitude past the other workloads) with a snapshot/compaction policy and a
+  late rolling restart per shard.  Besides perf numbers it asserts the
+  bounded-memory contract: the peak decided-log residency must stay O(interval
+  + retain) while committed ops keep advancing and replicas stay consistent —
+  ``main`` exits non-zero on a violation, so the CI perf-smoke run doubles as
+  a long-horizon compaction soak.
 
 Each workload also reports a deterministic *fingerprint* (a SHA-256 over the
 leader histories / final replica state), so the JSON doubles as evidence that a
@@ -258,11 +265,110 @@ def bench_sharded_service_storage(quick: bool) -> dict:
     }
 
 
+def bench_sharded_service_compaction(quick: bool) -> dict:
+    """Long-horizon compacting run: bounded memory under snapshot catch-up.
+
+    Ten-plus times the ``sharded_service`` horizon, with a
+    :class:`~repro.storage.compaction.CompactionPolicy` on every replica and a
+    rolling restart late in the run — by then the survivors have truncated the
+    prefix the restarted (storage-less) replica needs, so its recovery goes
+    through a snapshot transfer.  The result carries three health verdicts the
+    CLI turns into an exit code:
+
+    * ``bounded`` — peak decided-log residency stayed O(interval + retain);
+    * ``advancing`` — committed ops kept growing through the second half;
+    * ``consistent`` — every correct replica ended on the same digest.
+    """
+    from repro.storage import CompactionPolicy
+
+    num_shards = 2 if quick else 4
+    num_clients = 12 if quick else 48
+    horizon = 1500.0 if quick else 3600.0
+    seed = 1100 + num_shards
+    policy = CompactionPolicy(interval=64, retain=16)
+
+    def restart_plan(shard: int) -> FaultPlan:
+        follower = (shard % 3 + 1) % 3  # the default scenario centre is spared
+        return FaultPlan.rolling_restarts(
+            [follower], start=horizon * 0.6, downtime=horizon * 0.05
+        )
+
+    service = build_sharded_service(
+        num_shards=num_shards,
+        n=3,
+        t=1,
+        seed=seed,
+        batch_size=8,
+        fault_plan_factory=restart_plan,
+        compaction=policy,
+    )
+    clients = start_clients(
+        service,
+        num_clients=num_clients,
+        workload_factory=lambda i: zipfian_workload(num_keys=64),
+        stop_at=horizon - 200.0,  # quiesce so the final digests are converged
+    )
+    start = time.perf_counter()
+    service.run_until(horizon / 2)
+    committed_mid = sum(client.stats.completed for client in clients)
+    service.run_until(horizon)
+    wall = time.perf_counter() - start
+
+    events = service.scheduler.executed
+    messages = sum(system.stats.total_sent for system in service.systems)
+    committed = sum(client.stats.completed for client in clients)
+    peak = service.peak_decided_residency()
+    # Out-of-order decides and in-flight instances sit above the frontier, so
+    # allow one batch of slack past the policy window.
+    bounded = peak <= policy.interval + policy.retain + 64
+    advancing = committed > committed_mid > 0
+    consistent = service.is_consistent()
+    counters = {
+        "snapshots_taken": service.snapshots_taken(),
+        "snapshot_restores": service.snapshot_restores(),
+        "positions_compacted": service.positions_compacted(),
+        "snapshots_rejected": service.snapshots_rejected(),
+    }
+    fingerprint = _fingerprint(
+        {
+            "digests": {
+                shard: service.state_digests(shard, correct_only=False)
+                for shard in range(service.num_shards)
+            },
+            "committed": committed,
+            "counters": counters,
+            "peak_decided_residency": peak,
+            "consistent": consistent,
+        }
+    )
+    return {
+        "shards": num_shards,
+        "clients": num_clients,
+        "horizon": horizon,
+        "seed": seed,
+        "policy": policy.describe(),
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall else 0,
+        "messages": messages,
+        "messages_per_sec": round(messages / wall) if wall else 0,
+        "committed_commands": committed,
+        "committed_mid_run": committed_mid,
+        "peak_decided_residency": peak,
+        **counters,
+        "bounded": bounded,
+        "advancing": advancing,
+        "consistent": consistent,
+        "fingerprint": fingerprint,
+    }
+
+
 def run_benchmarks(quick: bool, noop_fault_plan: bool = False) -> dict:
     return {
         "omega_broadcast": bench_omega_broadcast(quick, noop_fault_plan),
         "sharded_service": bench_sharded_service(quick, noop_fault_plan),
         "sharded_service_storage": bench_sharded_service_storage(quick),
+        "sharded_service_compaction": bench_sharded_service_compaction(quick),
     }
 
 
@@ -336,6 +442,18 @@ def main(argv=None) -> int:
         BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
 
     print(json.dumps(report, indent=2))
+
+    compaction = results["sharded_service_compaction"]
+    for verdict in ("bounded", "advancing", "consistent"):
+        if not compaction[verdict]:
+            print(
+                f"COMPACTION VIOLATION: sharded_service_compaction is not "
+                f"{verdict!r} (peak_decided_residency="
+                f"{compaction['peak_decided_residency']}, committed="
+                f"{compaction['committed_commands']})",
+                file=sys.stderr,
+            )
+            return 1
 
     floor = args.min_events_per_sec
     if floor is not None:

@@ -79,6 +79,11 @@ class ServiceSummary:
     completed: int
     retries: int
     per_shard: List[ShardReport]
+    #: Snapshot/compaction accounting (0 when the service runs without a
+    #: compaction policy); peak_decided_residency is the bounded-memory metric.
+    snapshots_taken: int = 0
+    positions_compacted: int = 0
+    peak_decided_residency: int = 0
 
     @staticmethod
     def row_headers() -> List[str]:
@@ -159,4 +164,7 @@ def summarize_service(service, clients=(), duration: Optional[float] = None) -> 
         completed=completed,
         retries=retries,
         per_shard=per_shard,
+        snapshots_taken=service.snapshots_taken(),
+        positions_compacted=service.positions_compacted(),
+        peak_decided_residency=service.peak_decided_residency(),
     )

@@ -136,3 +136,51 @@ class CatchUpReply(Message):
     @property
     def tag(self) -> str:
         return "CATCHUP_REP"
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotRequest(Message):
+    """A receiver mid-transfer asks the sender for one more snapshot chunk.
+
+    ``(floor, checksum)`` identify the snapshot being transferred (the pair the
+    first :class:`SnapshotReply` announced); ``index`` is the chunk wanted
+    next.  A server whose latest snapshot moved on answers with chunk 0 of the
+    new one instead — the receiver notices the changed identity and restarts
+    its assembly.
+    """
+
+    floor: int
+    checksum: int
+    index: int
+
+    @property
+    def tag(self) -> str:
+        return "SNAP_REQ"
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotReply(Message):
+    """One chunk of a snapshot transfer (chunked like :class:`CatchUpReply`).
+
+    Sent when a :class:`CatchUpRequest` carries a frontier below the server's
+    truncation floor: the decided prefix the requester is missing no longer
+    exists position-by-position, so the server ships its latest
+    :class:`~repro.storage.snapshot.Snapshot` instead.  Every chunk repeats the
+    snapshot header (``floor``, ``delivered_total``, ``digest``, whole-snapshot
+    ``checksum``) so the receiver can assemble from any subset order; the
+    payload integrity check happens once, over the *assembled* snapshot,
+    against ``checksum`` — a chunk tampered in flight surfaces there and the
+    whole transfer is rejected and restarted.
+    """
+
+    floor: int
+    delivered_total: int
+    digest: str
+    checksum: int
+    index: int
+    total: int
+    items: Tuple[Any, ...]
+
+    @property
+    def tag(self) -> str:
+        return "SNAP_REP"

@@ -82,15 +82,55 @@ incarnation: decided positions are replayed in log order (driving
 table), then the surviving acceptor states and attempt counters are restored.
 Pending/forwarded submissions are deliberately volatile — losing them is
 message loss, which client retransmission already covers.
+
+Snapshots and compaction
+------------------------
+Attaching a :class:`~repro.storage.snapshot.SnapshotManager`
+(:meth:`attach_snapshots`, done by a :class:`~repro.service.replica.
+ServiceReplica` built with a compaction policy) bounds the log's memory:
+whenever the contiguous decided prefix grows past the policy interval the
+manager captures a checksummed :class:`~repro.storage.snapshot.Snapshot` of
+the applied state and the log **truncates** everything below the truncation
+floor — ``decisions``, the decided-value index, consensus instances, attempt
+bookkeeping, the delivered window and (when durable) the ``("decided"/
+"acceptor"/"attempt", pos)`` store entries.  Steady-state residency becomes
+O(interval + retain) instead of O(history).
+
+Three protocol consequences:
+
+* messages addressed to instances below the floor are dropped (counted in
+  :attr:`compacted_drops`) — a truncated acceptor stays *silent* for decided
+  positions rather than answering from a reborn empty instance, which is the
+  amnesia-safe behaviour (silence looks like a crash; any prepare quorum that
+  completes still contains a non-truncated witness of the decided value);
+* a catch-up request whose frontier lies below the floor cannot be served
+  position-by-position any more — the server starts a chunked **snapshot
+  transfer** instead (``SNAP_REP`` chunks pulled with ``SNAP_REQ``; see
+  :mod:`repro.storage.snapshot`), after which the requester's next poll
+  fetches the decided tail normally;
+* rehydration becomes snapshot-then-tail: :meth:`attach_storage` installs the
+  newest verifying durable snapshot (a torn newest write falls back to the
+  previous slot) and replays only the decided entries at or above its floor,
+  so recovery time is bounded by the compaction window, not the history.
+
+With no manager attached nothing changes: the floor stays 0 and every code
+path behaves (and fingerprints) exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import hashlib
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.consensus.commands import Batch, flatten_value, payload_intact
 from repro.consensus.instance import ConsensusInstance
-from repro.consensus.messages import CatchUpReply, CatchUpRequest, Forward
+from repro.consensus.messages import (
+    CatchUpReply,
+    CatchUpRequest,
+    Forward,
+    SnapshotReply,
+    SnapshotRequest,
+)
 from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
 from repro.util.validation import require_positive, validate_process_count
 
@@ -123,6 +163,16 @@ class _ValueIndex:
             if value not in self._unhashable:
                 self._unhashable.append(value)
 
+    def discard(self, value: Any) -> None:
+        """Forget *value* (compaction of the decided prefix it belonged to)."""
+        try:
+            self._hashable.discard(value)
+        except TypeError:
+            try:
+                self._unhashable.remove(value)
+            except ValueError:
+                pass
+
     def __contains__(self, value: Any) -> bool:
         try:
             if value in self._hashable:
@@ -130,6 +180,61 @@ class _ValueIndex:
         except TypeError:
             pass
         return bool(self._unhashable) and value in self._unhashable
+
+
+class _OrderedValueSet:
+    """Insertion-ordered set of undecided submissions (pending / forwarded).
+
+    Replaces the seed's plain lists, whose per-decision rebuild
+    (``[v for v in pending if v not in decided]``) cost O(pending) for every
+    decision: membership, insertion and removal are O(1) here for hashable
+    values (dict-backed; removal preserves relative order exactly like the
+    list filter did).  The rare unhashable legacy value degrades to an
+    equality-scanned list, iterated after the hashable ones.
+    """
+
+    __slots__ = ("_hashable", "_unhashable")
+
+    def __init__(self) -> None:
+        self._hashable: Dict[Any, None] = {}
+        self._unhashable: List[Any] = []
+
+    def add(self, value: Any) -> None:
+        try:
+            self._hashable.setdefault(value, None)
+        except TypeError:
+            if value not in self._unhashable:
+                self._unhashable.append(value)
+
+    def discard(self, value: Any) -> None:
+        try:
+            self._hashable.pop(value, None)
+        except TypeError:
+            try:
+                self._unhashable.remove(value)
+            except ValueError:
+                pass
+
+    def __contains__(self, value: Any) -> bool:
+        try:
+            if value in self._hashable:
+                return True
+        except TypeError:
+            pass
+        return bool(self._unhashable) and value in self._unhashable
+
+    def __len__(self) -> int:
+        return len(self._hashable) + len(self._unhashable)
+
+    def __bool__(self) -> bool:
+        return bool(self._hashable) or bool(self._unhashable)
+
+    def __iter__(self) -> Iterator[Any]:
+        yield from self._hashable
+        yield from self._unhashable
+
+    def as_list(self) -> List[Any]:
+        return list(self)
 
 
 class ReplicatedLog(Process):
@@ -194,26 +299,46 @@ class ReplicatedLog(Process):
         self._instances: Dict[int, ConsensusInstance] = {}
         self._attempts: Dict[int, int] = {}
         self._last_attempt_time: Dict[int, float] = {}
-        #: Log position -> decided value (learnt locally).
+        #: Log position -> decided value (learnt locally; with compaction,
+        #: only positions at or above the truncation floor stay resident).
         self.decisions: Dict[int, Any] = {}
         #: Commands submitted locally and not yet known decided.
-        self.pending: List[Any] = []
+        self._pending = _OrderedValueSet()
         #: Commands forwarded by other processes and not yet known decided.
-        self.forwarded: List[Any] = []
+        self._forwarded = _OrderedValueSet()
         #: Number of proposal attempts started by this process (reporting).
         self.proposals_started = 0
         #: Deliveries rejected because a carried payload failed its checksum
         #: (tampered in flight by a corrupting link); rejected messages are
         #: treated exactly like lost ones.
         self.corrupt_rejected = 0
+        #: Messages dropped because they addressed an instance the compaction
+        #: floor already truncated (the amnesia-safe silence).
+        self.compacted_drops = 0
 
         # Hot-path state: first position not yet decided (contiguous-prefix
         # cursor), highest decided position, decided-command index, and the
-        # materialised delivered prefix (non-noop values at positions < cursor).
+        # materialised delivered window (non-noop values at positions < cursor
+        # and >= the truncation floor).
         self._frontier = 0
         self._max_decided = -1
         self._decided_index = _ValueIndex()
         self._delivered: List[Any] = []
+
+        # Observer counters that survive windowing: total non-noop deliveries,
+        # total non-noop decisions, the lazily folded delivered-prefix digest
+        # chain (_digest_pos = first position not folded yet), and the high-
+        # water mark of resident decided entries (the bounded-memory metric).
+        self.delivered_total = 0
+        self.decided_value_count = 0
+        self._digest_state = ""
+        self._digest_pos = 0
+        self.peak_decided_entries = 0
+
+        # Compaction (attach_snapshots): _floor is the truncation floor —
+        # positions below it were snapshotted away and no longer exist here.
+        self.snapshots = None
+        self._floor = 0
 
         # Stable storage (attach_storage); _rehydrating suppresses re-persisting
         # state that is being replayed *from* the store.
@@ -231,50 +356,137 @@ class ReplicatedLog(Process):
         """
         if value == NOOP:
             raise ValueError("the no-op filler value cannot be submitted")
-        if value not in self.pending and not self._is_decided_value(value):
-            self.pending.append(value)
+        if value not in self._pending and not self._is_decided_value(value):
+            self._pending.add(value)
+
+    @property
+    def pending(self) -> List[Any]:
+        """Commands submitted locally and not yet known decided (in order)."""
+        return self._pending.as_list()
+
+    @property
+    def forwarded(self) -> List[Any]:
+        """Commands forwarded by peers and not yet known decided (in order)."""
+        return self._forwarded.as_list()
+
+    @property
+    def frontier(self) -> int:
+        """First log position not yet decided (the contiguous-prefix cursor)."""
+        return self._frontier
+
+    @property
+    def compaction_floor(self) -> int:
+        """First position still resident; everything below was snapshotted away.
+
+        0 with no compaction attached — every position is resident.
+        """
+        return self._floor
 
     def decided_log(self) -> Dict[int, Any]:
-        """Return a copy of the locally learnt decisions (position -> value)."""
+        """Return a copy of the locally resident decisions (position -> value).
+
+        With compaction this is the retained *window* — positions below
+        :attr:`compaction_floor` live only inside the latest snapshot;
+        whole-history observers should use :attr:`decided_value_count` and
+        :meth:`delivered_digest` instead of materialising the log.
+        """
         return dict(self.decisions)
 
     def delivered(self) -> List[Any]:
-        """Return the delivered prefix: decided values at contiguous positions 0..k,
-        no-op fillers excluded."""
+        """Return the delivered window: decided non-noop values at contiguous
+        positions below the frontier (and, with compaction, at or above the
+        truncation floor — the prefix below it is summarised by
+        :attr:`delivered_total` / :meth:`delivered_digest`)."""
         return list(self._delivered)
 
     def delivered_commands(self) -> List[Any]:
-        """Return the delivered prefix with batches flattened into their commands."""
+        """Return the delivered window with batches flattened into commands."""
         commands: List[Any] = []
         for value in self._delivered:
             commands.extend(flatten_value(value))
         return commands
 
+    def delivered_digest(self) -> str:
+        """Incremental SHA-256 chain over the decided prefix ``(pos, value)``.
+
+        Folded lazily up to the current frontier, so reading it is O(new
+        decisions since the last read) and O(1) amortised per decision — the
+        windowed replacement for hashing a full ``decided_log()`` copy, which
+        cost O(history) per observation.  Two replicas whose frontiers agree
+        have equal digests iff they decided the same prefix (noop fillers
+        included in the chain).  Snapshots carry the chain at their floor, so
+        the digest stays comparable across snapshot-restored replicas.
+        """
+        self._fold_digest()
+        return self._digest_state
+
+    def _fold_digest(self) -> None:
+        """Fold decided positions up to the frontier into the digest chain."""
+        while self._digest_pos < self._frontier:
+            position = self._digest_pos
+            step = repr((position, self.decisions[position]))
+            self._digest_state = hashlib.sha256(
+                (self._digest_state + step).encode("utf-8")
+            ).hexdigest()
+            self._digest_pos += 1
+
     # ------------------------------------------------------------------ storage --
+    def attach_snapshots(self, manager) -> None:
+        """Attach a :class:`~repro.storage.snapshot.SnapshotManager`.
+
+        Must happen before :meth:`attach_storage` (a
+        :class:`~repro.service.replica.ServiceReplica` wires the manager in its
+        constructor; the system attaches storage right after building it), so
+        recovery can rehydrate snapshot-then-tail.
+        """
+        if self.snapshots is not None:
+            raise RuntimeError("a snapshot manager is already attached to this log")
+        self.snapshots = manager
+        manager.bind_log(self)
+
     def attach_storage(self, store) -> None:
         """Attach a :class:`~repro.storage.stable_store.StableStore` and
         rehydrate from it.
 
         Must be called before the process starts taking steps (the system does
         this right after building the algorithm, both at boot and at recovery).
-        A non-empty store is the recovery path: decided positions are replayed
-        in log order — through :meth:`_on_decide`, so ``on_deliver`` rebuilds
-        the state machine exactly as the dead incarnation built it — and then
+        A non-empty store is the recovery path: with a snapshot manager
+        attached, the newest verifying durable snapshot is installed first
+        (restoring the state machine and fast-forwarding the frontier to its
+        floor), then only the decided tail at or above the floor is replayed —
+        through :meth:`_on_decide`, so ``on_deliver`` rebuilds the rest of the
+        state machine exactly as the dead incarnation built it — and finally
         the persisted acceptor states and proposal attempts are restored.
+        Stale entries below the snapshot floor (a crash can land between the
+        snapshot write and its truncations) are deleted rather than replayed.
         """
         if self._store is not None:
             raise RuntimeError("a stable store is already attached to this log")
         self._store = store
+        if self.snapshots is not None:
+            self.snapshots.bind_store(store)
         self._rehydrating = True
         try:
+            floor = 0
+            if self.snapshots is not None:
+                floor = self.snapshots.rehydrate()
             for (_, position), value in store.items_with_prefix("decided"):
+                if position < floor:
+                    store.delete(("decided", position))
+                    continue
                 self._instance(position).learn(None, value)
             for (_, position), state in store.items_with_prefix("acceptor"):
+                if position < floor:
+                    store.delete(("acceptor", position))
+                    continue
                 promised, accepted_ballot, accepted_value = state
                 self._instance(position).restore_acceptor_state(
                     promised, accepted_ballot, accepted_value
                 )
             for (_, position), attempt in store.items_with_prefix("attempt"):
+                if position < floor:
+                    store.delete(("attempt", position))
+                    continue
                 self._attempts[position] = attempt
         finally:
             self._rehydrating = False
@@ -289,11 +501,17 @@ class ReplicatedLog(Process):
         stay monotonic.  Only counters that rehydration/catch-up does *not*
         reconstruct belong here — ``commands_delivered`` is recounted when the
         new incarnation replays the log, so carrying it would double-count.
+        The snapshot manager's counters (snapshots taken, restores, positions
+        compacted, ...) die with the incarnation too, so they ride along.
         """
-        return {
+        counters = {
             "corrupt_rejected": self.corrupt_rejected,
             "proposals_started": self.proposals_started,
+            "compacted_drops": self.compacted_drops,
         }
+        if self.snapshots is not None:
+            counters.update(self.snapshots.counters())
+        return counters
 
     # ------------------------------------------------------------------ lifecycle --
     def on_start(self, env: Environment) -> None:
@@ -315,21 +533,40 @@ class ReplicatedLog(Process):
         if isinstance(message, Forward):
             if (
                 not self._is_decided_value(message.value)
-                and message.value not in self.forwarded
-                and message.value not in self.pending
+                and message.value not in self._forwarded
+                and message.value not in self._pending
             ):
-                self.forwarded.append(message.value)
+                self._forwarded.add(message.value)
             return
         if isinstance(message, CatchUpRequest):
             self._serve_catch_up(env, sender, message.frontier)
             return
         if isinstance(message, CatchUpReply):
             for position, value in message.decisions:
+                if position < self._floor:
+                    self.compacted_drops += 1
+                    continue
                 self._instance(position).learn(env, value)
+            return
+        if isinstance(message, SnapshotReply):
+            if self.snapshots is not None:
+                self.snapshots.on_chunk(env, sender, message)
+            return
+        if isinstance(message, SnapshotRequest):
+            if self.snapshots is not None:
+                self.snapshots.on_request(env, sender, message)
             return
         instance_id = getattr(message, "instance", None)
         if instance_id is None:
             raise TypeError(f"replicated log received unexpected {message!r}")
+        if instance_id < self._floor:
+            # The instance was truncated by compaction: its position is decided
+            # and snapshotted away.  Stay silent (never answer from a reborn
+            # empty instance — that would be manufactured amnesia); to the
+            # sender this looks exactly like a crashed acceptor, which the
+            # indulgent protocol tolerates.
+            self.compacted_drops += 1
+            return
         self._instance(instance_id).on_message(env, sender, message)
 
     # ------------------------------------------------------------------ internals --
@@ -356,17 +593,23 @@ class ReplicatedLog(Process):
             # prefix must survive this process's restarts.
             self._store.put(("decided", instance_id), value)
         self.decisions[instance_id] = value
+        if len(self.decisions) > self.peak_decided_entries:
+            self.peak_decided_entries = len(self.decisions)
         if instance_id > self._max_decided:
             self._max_decided = instance_id
+        if value != NOOP:
+            self.decided_value_count += 1
         for command in flatten_value(value):
             self._decided_index.add(command)
-        if self.pending:
-            self.pending = [v for v in self.pending if v not in self._decided_index]
-        if self.forwarded:
-            self.forwarded = [
-                v for v in self.forwarded if v not in self._decided_index
-            ]
+            # O(1) per decided command instead of the seed's O(pending) list
+            # rebuild per decision: undecided bookkeeping only ever *loses*
+            # exactly the commands this decision carried (submit/forward never
+            # admit an already-decided value, so nothing else can match).
+            self._pending.discard(command)
+            self._forwarded.discard(command)
         self._advance_frontier()
+        if self.snapshots is not None and not self._rehydrating:
+            self.snapshots.maybe_snapshot()
 
     def _advance_frontier(self) -> None:
         while self._frontier in self.decisions:
@@ -374,9 +617,94 @@ class ReplicatedLog(Process):
             position = self._frontier
             self._frontier += 1
             if value != NOOP:
+                self.delivered_total += 1
                 self._delivered.append(value)
                 if self.on_deliver is not None:
                     self.on_deliver(position, value)
+
+    # ------------------------------------------------------------------ compaction --
+    def compact_below(self, floor: int) -> int:
+        """Truncate every position below *floor*; return how many were dropped.
+
+        Called by the snapshot manager after a snapshot covering those
+        positions is (durably, when storage is attached) in place: the decided
+        values, their index entries, the consensus instances with their
+        acceptor state, the attempt bookkeeping, the delivered-window entries
+        and the durable ``("decided"/"acceptor"/"attempt", pos)`` records all
+        go.  The digest chain is folded first so no unfolded position is lost.
+        """
+        if floor <= self._floor:
+            return 0
+        self._fold_digest()
+        compacted = 0
+        dropped_deliveries = 0
+        for position in range(self._floor, min(floor, self._frontier)):
+            value = self.decisions.pop(position, None)
+            if value is not None:
+                compacted += 1
+                if value != NOOP:
+                    dropped_deliveries += 1
+                for command in flatten_value(value):
+                    self._decided_index.discard(command)
+            self._instances.pop(position, None)
+            self._attempts.pop(position, None)
+            self._last_attempt_time.pop(position, None)
+            if self._store is not None:
+                self._store.delete(("decided", position))
+                self._store.delete(("acceptor", position))
+                self._store.delete(("attempt", position))
+        if dropped_deliveries:
+            self._delivered = self._delivered[dropped_deliveries:]
+        self._floor = floor
+        return compacted
+
+    def adopt_snapshot(self, snapshot) -> int:
+        """Fast-forward this log to an installed snapshot; return positions dropped.
+
+        Called by the snapshot manager (after the state machine was restored
+        from the snapshot payload): the frontier jumps to the snapshot floor,
+        observer counters and the digest chain resume from the snapshot's
+        carried values, everything below the floor is truncated, and decided
+        values this replica had already learnt *above* the floor are delivered
+        through the normal frontier advance — applying them on top of the
+        restored state.
+        """
+        floor = snapshot.floor
+        dropped = 0
+        for position in [p for p in self.decisions if p < floor]:
+            del self.decisions[position]
+            dropped += 1
+        for position in [p for p in self._instances if p < floor]:
+            del self._instances[position]
+        for position in [p for p in self._attempts if p < floor]:
+            del self._attempts[position]
+        for position in [p for p in self._last_attempt_time if p < floor]:
+            del self._last_attempt_time[position]
+        if self._store is not None and not self._rehydrating:
+            for key, _ in self._store.items_with_prefix("decided"):
+                if key[1] < floor:
+                    self._store.delete(key)
+            for key, _ in self._store.items_with_prefix("acceptor"):
+                if key[1] < floor:
+                    self._store.delete(key)
+            for key, _ in self._store.items_with_prefix("attempt"):
+                if key[1] < floor:
+                    self._store.delete(key)
+        self._frontier = floor
+        if floor - 1 > self._max_decided:
+            self._max_decided = floor - 1
+        self._floor = floor
+        self.delivered_total = snapshot.delivered_total
+        self._digest_state = snapshot.digest
+        self._digest_pos = floor
+        self._delivered = []
+        # The prefix below the floor contributed snapshot.delivered_total
+        # non-noop values; re-count the still-resident tail on top of it.
+        self.decided_value_count = snapshot.delivered_total + sum(
+            1 for value in self.decisions.values() if value != NOOP
+        )
+        self._advance_frontier()
+        return dropped
 
     def _next_position(self) -> int:
         return self._frontier
@@ -384,10 +712,13 @@ class ReplicatedLog(Process):
     def _candidate_value(self) -> Optional[Any]:
         """Pick up to ``batch_size`` distinct undecided commands to propose."""
         picked: List[Any] = []
-        for value in self.pending + self.forwarded:
-            if value in self._decided_index or value in picked:
-                continue
-            picked.append(value)
+        for source in (self._pending, self._forwarded):
+            for value in source:
+                if value in self._decided_index or value in picked:
+                    continue
+                picked.append(value)
+                if len(picked) >= self.batch_size:
+                    break
             if len(picked) >= self.batch_size:
                 break
         if not picked:
@@ -398,6 +729,13 @@ class ReplicatedLog(Process):
 
     def _serve_catch_up(self, env: Environment, sender: int, frontier: int) -> None:
         """Answer a catch-up poll with decisions the requester is missing."""
+        if frontier < self._floor:
+            # The positions the requester wants were truncated by compaction:
+            # they no longer exist here decision-by-decision.  Ship the latest
+            # snapshot instead (chunked; the requester pulls the rest and, once
+            # installed, its next poll fetches the decided tail normally).
+            self.snapshots.serve(env, sender)
+            return
         if frontier > self._frontier:
             # The requester is ahead of us — we cannot serve it, but its
             # frontier just revealed that *we* are missing decisions.  Poll it
@@ -424,7 +762,7 @@ class ReplicatedLog(Process):
         leader = self.oracle.leader()
         if leader != self.pid:
             # Not the leader: hand our pending commands to whoever is.
-            for value in self.pending:
+            for value in self._pending:
                 env.send(leader, Forward(value=value))
             # Poll the leader for decisions we may have missed (a crashed-and-
             # recovered replica restarts with an empty log; a replica on the

@@ -20,6 +20,13 @@ stack) replays the persisted decided prefix through ``on_deliver``, which
 rebuilds the key-value state *and* the exactly-once session table — so a
 client command applied before the crash reads as applied immediately after
 recovery, and its retransmission is absorbed as a duplicate, not re-executed.
+
+With a compaction policy (``ShardedService(compaction=...)``) the replica owns
+a :class:`~repro.storage.snapshot.SnapshotManager`: the state machine is
+periodically serialized into a checksummed snapshot, the decided prefix it
+covers is truncated out of the log (bounded memory), laggards below the floor
+are served the snapshot over the wire, and — with storage attached — recovery
+rehydrates snapshot-then-tail instead of replaying the full history.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ from repro.core.config import OmegaConfig
 from repro.core.figure3 import Figure3Omega
 from repro.core.omega_base import RotatingStarOmegaBase
 from repro.service.state_machine import KeyValueStore, StateMachine
+from repro.storage.compaction import CompactionPolicy
+from repro.storage.snapshot import SnapshotManager
 
 
 class ServiceReplica(OmegaConsensusStack):
@@ -50,6 +59,7 @@ class ServiceReplica(OmegaConsensusStack):
         drive_period: float = 2.0,
         retry_period: float = 10.0,
         batch_size: int = 8,
+        compaction: Optional[CompactionPolicy] = None,
     ) -> None:
         super().__init__(
             pid=pid,
@@ -63,15 +73,40 @@ class ServiceReplica(OmegaConsensusStack):
         )
         self.state_machine = state_machine if state_machine is not None else KeyValueStore()
         #: Commands applied to the state machine (includes absorbed duplicates).
-        #: Recounted by replay when a recovery rehydrates from stable storage.
+        #: Recounted by replay when a recovery rehydrates from stable storage,
+        #: and reset to the capture point when a snapshot is installed.
         self.commands_delivered = 0
         self.log.on_deliver = self._apply_delivered
+        self.compaction = compaction
+        if compaction is not None:
+            # Attached before the system calls attach_storage, so recovery can
+            # rehydrate snapshot-then-tail.
+            self.log.attach_snapshots(
+                SnapshotManager(
+                    policy=compaction,
+                    capture=self._capture_snapshot,
+                    restore=self._restore_snapshot,
+                )
+            )
 
     # ------------------------------------------------------------------ application --
     def _apply_delivered(self, position: int, value: Any) -> None:
         for command in flatten_value(value):
             self.state_machine.apply(command)
             self.commands_delivered += 1
+
+    # ------------------------------------------------------------------ snapshots --
+    def _capture_snapshot(self) -> Any:
+        return self.state_machine.snapshot_items()
+
+    def _restore_snapshot(self, items: Any) -> None:
+        self.state_machine.restore_snapshot(items)
+        # Applied + absorbed-duplicate counts are deterministic functions of
+        # the applied prefix, so adopting the capturing replica's totals keeps
+        # this counter meaning "deliveries this state reflects".
+        self.commands_delivered = (
+            self.state_machine.applied + self.state_machine.duplicates_skipped
+        )
 
     # ------------------------------------------------------------------ client API --
     def submit_command(self, command: Command) -> None:
@@ -102,7 +137,10 @@ class ServiceReplica(OmegaConsensusStack):
         return self.log.corrupt_rejected
 
     def decided_command_positions(self) -> int:
-        """Number of decided non-noop log positions (consensus instances spent)."""
-        from repro.consensus.replicated_log import NOOP
+        """Number of decided non-noop log positions (consensus instances spent).
 
-        return sum(1 for value in self.log.decisions.values() if value != NOOP)
+        Counter-backed (O(1)) rather than a scan of ``decisions``: under
+        compaction the resident window no longer holds the whole history, and
+        snapshots carry the below-floor count across installs.
+        """
+        return self.log.decided_value_count

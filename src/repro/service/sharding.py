@@ -30,6 +30,7 @@ from repro.simulation.crash import CrashSchedule
 from repro.simulation.faults import DEFAULT_ROUND_RESYNC_GAP, FaultPlan
 from repro.simulation.scheduler import EventScheduler
 from repro.simulation.system import System, SystemConfig
+from repro.storage.compaction import CompactionPolicy
 from repro.storage.stable_store import StableStorage, WriteCostModel
 from repro.util.rng import RandomSource, derive_seed
 from repro.util.validation import require_positive
@@ -94,6 +95,19 @@ class ShardedService:
         before reply).  Adversaries injecting recoveries at run time are only
         amnesia-safe with storage on — the static hazard check cannot see
         their future injections.
+    compaction:
+        Snapshot/log-compaction policy for every replica.  ``None`` (the
+        default) keeps full history resident — all committed fingerprints stay
+        byte-identical.  A :class:`~repro.storage.compaction.CompactionPolicy`
+        (or a bare int, shorthand for ``CompactionPolicy(interval=int)``)
+        gives every replica a :class:`~repro.storage.snapshot.SnapshotManager`:
+        periodic state snapshots, truncation of the covered decided prefix
+        (bounded memory), snapshot-based catch-up for laggards below the floor
+        and — with ``stable_storage`` on — snapshot-then-tail rehydration at
+        recovery.  Composes with either storage mode; note that snapshots do
+        **not** cure quorum amnesia (they restore applied state, never promise
+        memory), so :attr:`amnesia_hazards` is computed exactly as without
+        compaction.
     """
 
     def __init__(
@@ -112,6 +126,7 @@ class ShardedService:
         omega_cls: Type[RotatingStarOmegaBase] = Figure3Omega,
         state_machine_factory: Callable[[], StateMachine] = KeyValueStore,
         stable_storage: Union[bool, WriteCostModel] = False,
+        compaction: Optional[Union[int, CompactionPolicy]] = None,
     ) -> None:
         require_positive(num_shards, "num_shards")
         if crash_schedule_factory is not None and fault_plan_factory is not None:
@@ -139,6 +154,10 @@ class ShardedService:
                 StableStorage(cost_model=self._write_cost_model)
                 for _ in range(self.num_shards)
             ]
+        if isinstance(compaction, int) and not isinstance(compaction, bool):
+            compaction = CompactionPolicy(interval=compaction)
+        #: The snapshot/compaction policy shared by every replica, or ``None``.
+        self.compaction: Optional[CompactionPolicy] = compaction
         #: shard -> descriptions of how its fault plan permanently breaks the
         #: shard's assumption (empty lists when every plan is assumption-safe).
         self.assumption_violations: Dict[int, List[str]] = {}
@@ -197,6 +216,7 @@ class ShardedService:
                     drive_period=drive_period,
                     retry_period=retry_period,
                     batch_size=batch_size,
+                    compaction=self.compaction,
                 )
 
             self.systems.append(
@@ -382,6 +402,64 @@ class ShardedService:
         if self.storages is None:
             return 0.0
         return sum(storage.total_cost for storage in self.storages)
+
+    def storage_deletes(self) -> int:
+        """Durable entries compacted away across all shards (0 without storage)."""
+        if self.storages is None:
+            return 0
+        return sum(
+            store.deletes
+            for storage in self.storages
+            for store in storage.stores()
+        )
+
+    def _snapshot_counter(self, name: str) -> int:
+        """Whole-run total of one snapshot-manager counter, recovery-proof.
+
+        Like :meth:`corruption_rejections`: live incarnations' counters plus
+        the retired totals the shells harvested at each recovery.
+        """
+        total = 0
+        for system in self.systems:
+            for shell in system.shells:
+                total += shell.retired_counters.get(name, 0)
+                log = getattr(shell.algorithm, "log", None)
+                manager = getattr(log, "snapshots", None) if log is not None else None
+                if manager is not None:
+                    total += getattr(manager, name)
+        return total
+
+    def snapshots_taken(self) -> int:
+        """Snapshots captured across all shards and incarnations."""
+        return self._snapshot_counter("snapshots_taken")
+
+    def snapshot_restores(self) -> int:
+        """Verified snapshot installs (wire transfers + durable rehydrations)."""
+        return self._snapshot_counter("snapshot_restores")
+
+    def positions_compacted(self) -> int:
+        """Decided log positions truncated out of memory across the run."""
+        return self._snapshot_counter("positions_compacted")
+
+    def snapshots_rejected(self) -> int:
+        """Snapshot transfers/slots whose checksum failed (tampered or torn)."""
+        return self._snapshot_counter("snapshots_rejected")
+
+    def peak_decided_residency(self) -> int:
+        """High-water mark of resident decided-log entries over live replicas.
+
+        *The* bounded-memory metric: with a compaction policy this stays
+        O(interval + retain) regardless of run length; without one it grows
+        with the history.  (Per-incarnation: a restarted replica restarts its
+        own high-water mark, which can only lower the reported peak.)
+        """
+        peak = 0
+        for system in self.systems:
+            for shell in system.shells:
+                log = getattr(shell.algorithm, "log", None)
+                if log is not None and log.peak_decided_entries > peak:
+                    peak = log.peak_decided_entries
+        return peak
 
     def total_instances(self) -> int:
         """Decided non-noop consensus instances across all shards."""

@@ -59,6 +59,27 @@ class StateMachine(abc.ABC):
     def snapshot(self) -> Dict[str, Any]:
         """Return a copy of the materialised state."""
 
+    # The compaction layer (:mod:`repro.storage.snapshot`) serializes machines
+    # through these two hooks.  They are optional: a machine that does not
+    # implement them simply cannot be run with a compaction policy.
+    def snapshot_items(self) -> Tuple[Any, ...]:
+        """Serialize the full state into a flat tuple of hashable rows.
+
+        Used by the :class:`~repro.storage.snapshot.SnapshotManager` as the
+        snapshot payload (rows are chunked for transfer); must round-trip
+        through :meth:`restore_snapshot` to a machine with an equal
+        :meth:`digest`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshot/compaction"
+        )
+
+    def restore_snapshot(self, items: Tuple[Any, ...]) -> None:
+        """Reset this machine to the state captured in *items*."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshot/compaction"
+        )
+
 
 class KeyValueStore(StateMachine):
     """String-keyed store with exactly-once command application.
@@ -169,6 +190,61 @@ class KeyValueStore(StateMachine):
             (sorted(self._data.items()), sorted(self.sessions().items()))
         ).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()
+
+    # ------------------------------------------------------------------ snapshots --
+    def snapshot_items(self) -> Tuple[Any, ...]:
+        """Serialize data, exactly-once session table and counters as flat rows.
+
+        Row shapes (all hashable, so snapshot chunks travel inside frozen
+        messages like any command payload):
+
+        * ``("meta", applied, duplicates_skipped)`` — the apply counters;
+        * ``("kv", key, value)`` — one materialised key;
+        * ``("session", client_id, applied_seqs, last_seq, last_result)`` —
+          one client's exactly-once state (the complete applied-seq set, so
+          dedup below a compaction floor keeps working from the snapshot).
+
+        Keys and clients are sorted, making the payload — and therefore the
+        snapshot's CRC — a deterministic function of the state.
+        """
+        items: list = [("meta", self.applied, self.duplicates_skipped)]
+        for key in sorted(self._data):
+            items.append(("kv", key, self._data[key]))
+        for client in sorted(self._sessions):
+            session = self._sessions[client]
+            items.append(
+                (
+                    "session",
+                    client,
+                    tuple(sorted(session.applied_seqs)),
+                    session.last_seq,
+                    session.last_result,
+                )
+            )
+        return tuple(items)
+
+    def restore_snapshot(self, items: Tuple[Any, ...]) -> None:
+        """Reset this store to the state captured by :meth:`snapshot_items`."""
+        self._data = {}
+        self._sessions = {}
+        self.applied = 0
+        self.duplicates_skipped = 0
+        for item in items:
+            kind = item[0]
+            if kind == "meta":
+                _, self.applied, self.duplicates_skipped = item
+            elif kind == "kv":
+                _, key, value = item
+                self._data[key] = value
+            elif kind == "session":
+                _, client, applied_seqs, last_seq, last_result = item
+                self._sessions[client] = ClientSessionState(
+                    applied_seqs=set(applied_seqs),
+                    last_seq=last_seq,
+                    last_result=last_result,
+                )
+            else:
+                raise ValueError(f"unknown snapshot item kind {kind!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -120,6 +120,17 @@ def corrupt_message(message: Any, rng: RandomSource) -> Optional[Any]:
                     + decisions[position + 1 :]
                 )
                 return dataclasses.replace(message, decisions=garbled)
+    items = getattr(message, "items", None)
+    if items:
+        # A snapshot-transfer chunk: garble one payload row while keeping the
+        # carried whole-snapshot checksum stale.  Chunks are not individually
+        # checksummed, so the forgery only surfaces when the receiver verifies
+        # the *assembled* snapshot — which then rejects the whole transfer.
+        index = rng.randint(0, len(items) - 1)
+        garbled_item = (_GARBLE_MARK, items[index])
+        return dataclasses.replace(
+            message, items=items[:index] + (garbled_item,) + items[index + 1 :]
+        )
     return None
 
 

@@ -662,6 +662,17 @@ class FaultPlan:
         promises make restarts memory-preserving, so the hazard vanishes; the
         sharded service only records hazards with its ``stable_storage`` knob
         off).
+
+        Snapshots/compaction (:mod:`repro.storage.snapshot`) do **not** affect
+        this reasoning in either direction.  A snapshot restores *applied*
+        state, never an acceptor's promise memory, so a compacting replica
+        without storage is exactly as amnesic as a non-compacting one — the
+        hazard check is identical with the ``compaction`` knob on.  Conversely,
+        truncating durable acceptor state below the snapshot floor does not
+        *create* a hazard: those positions are decided, truncated replicas
+        stay silent for them (indistinguishable from a crashed acceptor), and
+        any prepare quorum that completes still intersects the accept quorum
+        in a non-truncated witness.
         """
         validate_process_count(n, t)
         restarted = self.restarted_ids()

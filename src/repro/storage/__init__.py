@@ -1,9 +1,20 @@
-"""Stable-storage subsystem: durable per-process state for crash-recovery.
+"""Storage subsystem: durable per-process state, snapshots and log compaction.
 
-See :mod:`repro.storage.stable_store` for the model and the persistence schema
-the consensus layer uses.
+See :mod:`repro.storage.stable_store` for the durability model and the
+persistence schema the consensus layer uses, and
+:mod:`repro.storage.snapshot` / :mod:`repro.storage.compaction` for the
+bounded-memory snapshot-and-truncate layer built on top of it.
 """
 
+from repro.storage.compaction import CompactionPolicy
+from repro.storage.snapshot import Snapshot, SnapshotManager
 from repro.storage.stable_store import StableStorage, StableStore, WriteCostModel
 
-__all__ = ["StableStorage", "StableStore", "WriteCostModel"]
+__all__ = [
+    "CompactionPolicy",
+    "Snapshot",
+    "SnapshotManager",
+    "StableStorage",
+    "StableStore",
+    "WriteCostModel",
+]

@@ -37,7 +37,18 @@ key                      value
 ``("attempt", pos)``     highest proposal attempt this process used for ``pos``
                          (so a restarted proposer never reuses one of its own
                          ballots for a different value)
+``("snapshot", slot)``   a :class:`~repro.storage.snapshot.Snapshot` capturing
+                         the applied state up to its floor (written by the
+                         :class:`~repro.storage.snapshot.SnapshotManager`; the
+                         last two slots are retained so a torn newest write
+                         falls back to the previous one)
 =======================  =====================================================
+
+Compaction (:mod:`repro.storage.snapshot`) **deletes** durable entries below
+the snapshot floor once a snapshot covers them; deletions are free on the
+virtual clock (an unlink needs no fsync-before-reply) but counted in
+:attr:`StableStore.deletes` so benchmarks can assert the store itself stays
+bounded, not just the in-memory log.
 
 Volatile submissions (``pending`` / ``forwarded`` commands not yet decided) are
 deliberately *not* persisted: losing them is plain message loss, which clients
@@ -50,6 +61,9 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.util.validation import require_non_negative
+
+#: Sentinel distinguishing "absent" from a stored None in delete().
+_MISSING = object()
 
 
 class WriteCostModel:
@@ -115,6 +129,7 @@ class StableStore:
         self._data: Dict[Any, Any] = {}
         self.writes = 0
         self.reads = 0
+        self.deletes = 0
         self.total_cost = 0.0
         self._charge: Optional[Callable[[float], None]] = None
 
@@ -145,6 +160,16 @@ class StableStore:
         """Read the durable value under *key* (``default`` when absent)."""
         self.reads += 1
         return self._data.get(key, default)
+
+    def delete(self, key: Any) -> None:
+        """Remove *key* from the durable area (compaction; absent keys ok).
+
+        Free on the virtual clock — removing an entry needs no
+        fsync-before-reply the way a write-ahead ``put`` does — but counted,
+        so bounded-storage assertions can watch ``deletes`` track compaction.
+        """
+        if self._data.pop(key, _MISSING) is not _MISSING:
+            self.deletes += 1
 
     def __contains__(self, key: Any) -> bool:
         return key in self._data
