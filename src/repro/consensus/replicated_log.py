@@ -315,6 +315,11 @@ class ReplicatedLog(Process):
         #: Messages dropped because they addressed an instance the compaction
         #: floor already truncated (the amnesia-safe silence).
         self.compacted_drops = 0
+        #: Catch-up polls this replica sent (drive-tick polls of the leader plus
+        #: poll-backs to a requester that turned out to be ahead of us).
+        self.catchup_polls_sent = 0
+        #: Catch-up replies this replica served (each carries >= 1 decision).
+        self.catchup_replies_sent = 0
 
         # Hot-path state: first position not yet decided (contiguous-prefix
         # cursor), highest decided position, decided-command index, and the
@@ -508,6 +513,8 @@ class ReplicatedLog(Process):
             "corrupt_rejected": self.corrupt_rejected,
             "proposals_started": self.proposals_started,
             "compacted_drops": self.compacted_drops,
+            "catchup_polls_sent": self.catchup_polls_sent,
+            "catchup_replies_sent": self.catchup_replies_sent,
         }
         if self.snapshots is not None:
             counters.update(self.snapshots.counters())
@@ -744,6 +751,7 @@ class ReplicatedLog(Process):
             # followers' routine polls carry their higher frontiers, and the
             # poll-back turns them into servers.  No ping-pong: the poll-back
             # carries a *lower* frontier, so the peer answers with data.
+            self.catchup_polls_sent += 1
             env.send(sender, CatchUpRequest(frontier=self._frontier))
             return
         if self._max_decided < frontier:
@@ -756,6 +764,7 @@ class ReplicatedLog(Process):
                 if len(decisions) >= CATCH_UP_BATCH:
                     break
         if decisions:
+            self.catchup_replies_sent += 1
             env.send(sender, CatchUpReply(decisions=tuple(decisions)))
 
     def _drive(self, env: Environment) -> None:
@@ -769,6 +778,7 @@ class ReplicatedLog(Process):
             # minority side of a healed partition has holes).  The leader stays
             # silent unless it actually has something newer, so the poll costs
             # one small message per drive tick.
+            self.catchup_polls_sent += 1
             env.send(leader, CatchUpRequest(frontier=self._frontier))
             return
         position = self._next_position()

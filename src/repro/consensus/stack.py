@@ -79,8 +79,18 @@ class OmegaConsensusStack(CompositeProcess, LeaderOracle):
         self.log.attach_storage(store)
 
     def lifetime_counters(self):
-        """Monotone counters the shell carries across incarnations."""
-        return self.log.lifetime_counters()
+        """Monotone counters the shell carries across incarnations.
+
+        Merges the replicated log's counters with the oracle's: the Omega layer
+        keeps no durable state, so a recovery resets ``round_resyncs`` and
+        ``suspicions_sent`` with the rest of its soft state — without this
+        harvest, whole-run totals (the coverage features of :mod:`repro.fuzz`
+        among them) would silently *shrink* at every restart.
+        """
+        counters = self.log.lifetime_counters()
+        counters["round_resyncs"] = self.omega.round_resyncs
+        counters["suspicions_sent"] = self.omega.suspicions_sent
+        return counters
 
     def submit(self, value) -> None:
         """Submit a command to the replicated log."""

@@ -1,0 +1,82 @@
+"""Execution-feature coverage: the campaign's novelty detector.
+
+The fuzzer has no branch coverage to instrument — the "program" is a
+distributed execution — so coverage is defined over the *behavioural feature
+vector* an execution produces (leader changes, round resyncs, catch-up and
+snapshot traffic, corruption rejections, recoveries, ...; see
+:func:`repro.fuzz.executor.harvest_features`).  Exact counts are too fine to
+generalise (a run with 17 retries is not meaningfully novel next to one with
+16), so counts are bucketed on a log2 scale — the classic AFL hit-count
+trick — and an execution is *interesting* when it lights up a
+``(feature, bucket)`` pair never seen before, or a never-seen combination of
+pairs (a new joint behaviour built from individually known ones).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+#: One bucketed observation: ``(feature name, log2 bucket)``.
+FeatureBucket = Tuple[str, int]
+
+
+def bucket(value: int) -> int:
+    """Log2 bucket of a non-negative count: 0->0, 1->1, 2-3->2, 4-7->3, ..."""
+    if value <= 0:
+        return 0
+    return int(value).bit_length()
+
+
+def signature(features: Dict[str, int]) -> FrozenSet[FeatureBucket]:
+    """The bucketed form of a feature vector (order-insensitive)."""
+    return frozenset((name, bucket(count)) for name, count in features.items())
+
+
+class CoverageMap:
+    """Accumulates every ``(feature, bucket)`` pair and signature ever seen."""
+
+    def __init__(self) -> None:
+        self._pairs: Set[FeatureBucket] = set()
+        self._signatures: Set[FrozenSet[FeatureBucket]] = set()
+        #: Executions observed (for the campaign report).
+        self.observations = 0
+
+    def observe(self, features: Dict[str, int]) -> Tuple[int, bool]:
+        """Fold one execution in; return ``(new pairs, new signature)``.
+
+        An execution is *interesting* — worth keeping as a corpus seed — when
+        either component is non-zero/true.
+        """
+        self.observations += 1
+        sig = signature(features)
+        new_pairs = len(sig - self._pairs)
+        new_signature = sig not in self._signatures
+        self._pairs.update(sig)
+        self._signatures.add(sig)
+        return new_pairs, new_signature
+
+    def is_interesting(self, features: Dict[str, int]) -> bool:
+        """Non-mutating preview of :meth:`observe`'s verdict."""
+        sig = signature(features)
+        return bool(sig - self._pairs) or sig not in self._signatures
+
+    @property
+    def pairs_seen(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def signatures_seen(self) -> int:
+        return len(self._signatures)
+
+    def pairs(self) -> List[FeatureBucket]:
+        """Sorted snapshot of the covered ``(feature, bucket)`` pairs."""
+        return sorted(self._pairs)
+
+    def merge(self, other: "CoverageMap") -> None:
+        """Union another map in (campaign-level aggregation)."""
+        self._pairs.update(other._pairs)
+        self._signatures.update(other._signatures)
+        self.observations += other.observations
+
+
+__all__ = ["CoverageMap", "FeatureBucket", "bucket", "signature"]

@@ -1,0 +1,542 @@
+"""Deterministic one-shot execution of a ``(spec, plan, seed)`` fuzz scenario.
+
+:func:`run_scenario` is the campaign's measurement instrument: it builds a
+real :class:`~repro.service.sharding.ShardedService` (actual Omega elections,
+actual consensus, actual clients — no scripted oracles), injects the fault
+plan, drives closed-loop clients that record timed operation histories, and
+returns an :class:`ExecutionResult` carrying
+
+* the **coverage features** the feedback loop buckets for novelty (leader
+  changes, round resyncs, catch-up and snapshot-transfer activity, corruption
+  rejections, recoveries, client retries, ...) — all read through the
+  recovery-proof ``retired_counters`` path, so a restart can never shrink a
+  feature mid-run;
+* the **invariant verdicts**: per-position agreement across every replica
+  incarnation, exactly-once session safety, digest-chain convergence of
+  equally-advanced replicas, durability of acknowledged writes, and a real
+  Wing–Gong linearizability check of the merged client history against the
+  key-value specification;
+* a **fingerprint** over features, violations, final digests and the full
+  operation history.  The execution is a pure function of
+  ``(spec, plan, spec.seed)``: equal inputs produce byte-identical
+  fingerprints in any process, which is what makes findings replayable and
+  campaigns worker-count-independent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.assumptions.base import Scenario
+from repro.assumptions.scenarios import IntermittentRotatingStarScenario
+from repro.core.config import OmegaConfig
+from repro.fuzz.linearizability import check_history
+from repro.service.clients import ClosedLoopClient, start_clients, uniform_workload
+from repro.service.sharding import ShardedService
+from repro.simulation.adversary import ChurnAdversary, LeaderHunter, RandomAdversary
+from repro.simulation.delays import ConstantDelay
+from repro.simulation.faults import FaultPlan
+from repro.util.rng import derive_seed
+
+
+class ConstantDelayScenario(Scenario):
+    """Uniform constant delays — the fuzzer's controllable baseline.
+
+    Constant symmetric delays make every process an (intermittent) star
+    centre, so leadership is well-defined and the scenario has no protected
+    process: every fault plan is assumption-admissible, which is exactly what
+    a fuzzer wants — the *plans* are the experiment, not the delay model.
+    """
+
+    name = "constant-delay"
+
+    def __init__(self, n: int, t: int, delay: float = 0.5) -> None:
+        super().__init__(n, t)
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        self.delay = delay
+
+    def build_delay_model(self) -> ConstantDelay:
+        return ConstantDelay(self.delay)
+
+    def recommended_omega_config(self) -> OmegaConfig:
+        # ALIVE period comfortably above the delay keeps rounds closing.
+        return OmegaConfig(alive_period=max(1.0, 2.0 * self.delay))
+
+
+#: Adversary names accepted by :attr:`ScenarioSpec.adversary`.
+ADVERSARIES = ("leader-hunter", "churn", "random")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything but the fault plan: topology, workload, knobs, master seed.
+
+    A spec is deliberately JSON-flat (``to_dict``/``from_dict``) so findings
+    and regression artifacts can embed it verbatim and campaign workers can
+    receive it across process boundaries.
+    """
+
+    n: int = 3
+    t: int = 1
+    num_shards: int = 1
+    seed: int = 0
+    horizon: float = 110.0
+    quiesce_at: float = 80.0
+    num_clients: int = 2
+    num_keys: int = 4
+    read_fraction: float = 0.5
+    poll_interval: float = 1.0
+    retry_timeout: float = 12.0
+    batch_size: int = 1
+    drive_period: float = 2.0
+    retry_period: float = 10.0
+    scenario: str = "constant"  # "constant" | "star"
+    delay: float = 0.5
+    stable_storage: bool = False
+    compaction: Optional[int] = None
+    adversary: Optional[str] = None
+    adversary_period: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.scenario not in ("constant", "star"):
+            raise ValueError(f"unknown scenario {self.scenario!r}")
+        if self.adversary is not None and self.adversary not in ADVERSARIES:
+            raise ValueError(
+                f"unknown adversary {self.adversary!r} (expected one of {ADVERSARIES})"
+            )
+        if not 0 < self.quiesce_at <= self.horizon:
+            raise ValueError(
+                f"quiesce_at={self.quiesce_at} must lie in (0, horizon={self.horizon}]"
+            )
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        if not isinstance(data, dict):
+            raise ValueError(f"scenario spec must be a dict, got {data!r}")
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise ValueError(f"unknown scenario spec field(s) {unknown}")
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One invariant breach observed by an execution's probes."""
+
+    kind: str  # "agreement" | "exactly-once" | "divergence" | "durability" | "linearizability"
+    shard: int
+    detail: str
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "shard": self.shard, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Violation":
+        return cls(
+            kind=str(data["kind"]), shard=int(data["shard"]), detail=str(data["detail"])
+        )
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """The deterministic outcome of one fuzz execution."""
+
+    spec_data: Dict
+    plan_data: Dict
+    features: Dict[str, int]
+    violations: Tuple[Violation, ...]
+    leader_change_times: Tuple[float, ...]
+    fingerprint: str
+    amnesia_hazards: Tuple[str, ...]
+    assumption_violations: Tuple[str, ...]
+    history_len: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec": dict(self.spec_data),
+            "plan": dict(self.plan_data),
+            "features": dict(self.features),
+            "violations": [v.to_dict() for v in self.violations],
+            "leader_change_times": list(self.leader_change_times),
+            "fingerprint": self.fingerprint,
+            "amnesia_hazards": list(self.amnesia_hazards),
+            "assumption_violations": list(self.assumption_violations),
+            "history_len": self.history_len,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExecutionResult":
+        return cls(
+            spec_data=dict(data["spec"]),
+            plan_data=dict(data["plan"]),
+            features={str(k): int(v) for k, v in data["features"].items()},
+            violations=tuple(Violation.from_dict(v) for v in data["violations"]),
+            leader_change_times=tuple(float(x) for x in data["leader_change_times"]),
+            fingerprint=str(data["fingerprint"]),
+            amnesia_hazards=tuple(str(x) for x in data["amnesia_hazards"]),
+            assumption_violations=tuple(str(x) for x in data["assumption_violations"]),
+            history_len=int(data["history_len"]),
+        )
+
+
+# ------------------------------------------------------------------ construction --
+def _build_adversary(spec: ScenarioSpec):
+    if spec.adversary is None:
+        return None
+    kwargs = dict(period=spec.adversary_period, stop=spec.quiesce_at)
+    if spec.adversary == "leader-hunter":
+        return LeaderHunter(downtime=10.0, **kwargs)
+    if spec.adversary == "churn":
+        return ChurnAdversary(downtime=8.0, **kwargs)
+    if spec.adversary == "random":
+        return RandomAdversary(seed=derive_seed(spec.seed, "adversary"), **kwargs)
+    raise ValueError(f"unknown adversary {spec.adversary!r}")
+
+
+def build_service(spec: ScenarioSpec, plan: FaultPlan) -> ShardedService:
+    """Construct the sharded service a spec describes, with *plan* on every shard."""
+    plan_data = plan.to_dict()
+
+    def scenario_factory(shard: int) -> Scenario:
+        if spec.scenario == "star":
+            return IntermittentRotatingStarScenario(
+                n=spec.n,
+                t=spec.t,
+                center=shard % spec.n,
+                seed=derive_seed(spec.seed, "scenario", shard),
+                max_gap=4,
+            )
+        return ConstantDelayScenario(spec.n, spec.t, delay=spec.delay)
+
+    def fault_plan_factory(shard: int) -> FaultPlan:
+        # A fresh deserialization per shard: plans are stateless, but sharing
+        # one object across shards would alias the injector bookkeeping.
+        return FaultPlan.from_dict(plan_data)
+
+    return ShardedService(
+        num_shards=spec.num_shards,
+        n=spec.n,
+        t=spec.t,
+        scenario_factory=scenario_factory,
+        fault_plan_factory=fault_plan_factory,
+        adversary=_build_adversary(spec),
+        batch_size=spec.batch_size,
+        drive_period=spec.drive_period,
+        retry_period=spec.retry_period,
+        seed=spec.seed,
+        stable_storage=spec.stable_storage,
+        compaction=spec.compaction,
+    )
+
+
+# ------------------------------------------------------------------ invariant probes --
+def _iter_logs(service: ShardedService, shard: int):
+    """Yield ``(pid, replicated log)`` of every shell of *shard* (crashed too).
+
+    A crashed shell's algorithm object is its last incarnation — its decisions
+    were really made, so agreement must hold across them as well.
+    """
+    for shell in service.systems[shard].shells:
+        log = getattr(shell.algorithm, "log", None)
+        if log is not None:
+            yield shell.pid, log
+
+
+def agreement_violations(service: ShardedService) -> List[Violation]:
+    """Per-position agreement across every replica of every shard."""
+    violations: List[Violation] = []
+    for shard in range(service.num_shards):
+        decided: Dict[int, Dict[object, List[int]]] = {}
+        for pid, log in _iter_logs(service, shard):
+            for position, value in log.decided_log().items():
+                decided.setdefault(position, {}).setdefault(repr(value), []).append(pid)
+        for position in sorted(decided):
+            values = decided[position]
+            if len(values) > 1:
+                detail = "; ".join(
+                    f"pids {sorted(pids)} decided {value[:80]}"
+                    for value, pids in sorted(values.items())
+                )
+                violations.append(
+                    Violation(
+                        kind="agreement",
+                        shard=shard,
+                        detail=f"position {position} decided differently: {detail}",
+                    )
+                )
+    return violations
+
+
+def session_violations(
+    service: ShardedService, clients: List[ClosedLoopClient]
+) -> List[Violation]:
+    """Exactly-once safety: no phantom and no cross-shard duplicate commands."""
+    violations: List[Violation] = []
+    issued = {client.client_id: client.seq for client in clients}
+    seen_at: Dict[Tuple[str, int], List[int]] = {}
+    for shard in range(service.num_shards):
+        replicas = service.correct_replicas(shard)
+        if not replicas:
+            continue
+        sessions = replicas[0].state_machine.sessions()
+        for client_id, seqs in sessions.items():
+            for seq in seqs:
+                if seq < 1 or seq > issued.get(client_id, 0):
+                    violations.append(
+                        Violation(
+                            kind="exactly-once",
+                            shard=shard,
+                            detail=(
+                                f"phantom command ({client_id!r}, seq={seq}) applied "
+                                f"but the client issued only {issued.get(client_id, 0)}"
+                            ),
+                        )
+                    )
+                else:
+                    seen_at.setdefault((client_id, seq), []).append(shard)
+    for (client_id, seq), shards in sorted(seen_at.items()):
+        if len(shards) > 1:
+            violations.append(
+                Violation(
+                    kind="exactly-once",
+                    shard=shards[0],
+                    detail=(
+                        f"command ({client_id!r}, seq={seq}) applied on "
+                        f"{len(shards)} shards {shards} — keys map to one shard"
+                    ),
+                )
+            )
+    return violations
+
+
+def divergence_violations(service: ShardedService) -> List[Violation]:
+    """Digest-chain convergence: equally-advanced correct replicas agree.
+
+    Replicas that delivered the same number of commands applied — if the log
+    layer is safe — the same prefix, so their state digests must be equal.
+    Laggards (catch-up still in flight at the horizon) are compared only with
+    their equally-advanced peers, never with the frontier group, keeping the
+    probe free of liveness false positives.
+    """
+    violations: List[Violation] = []
+    for shard in range(service.num_shards):
+        groups: Dict[int, Dict[str, List[int]]] = {}
+        for replica in service.correct_replicas(shard):
+            advance = replica.log.delivered_total
+            digest = replica.state_machine.digest()
+            groups.setdefault(advance, {}).setdefault(digest, []).append(replica.pid)
+        for advance in sorted(groups):
+            digests = groups[advance]
+            if len(digests) > 1:
+                sides = "; ".join(
+                    f"pids {sorted(pids)} at {digest[:12]}"
+                    for digest, pids in sorted(digests.items())
+                )
+                violations.append(
+                    Violation(
+                        kind="divergence",
+                        shard=shard,
+                        detail=(
+                            f"replicas that delivered {advance} commands disagree "
+                            f"on state: {sides}"
+                        ),
+                    )
+                )
+    return violations
+
+
+def durability_violations(
+    service: ShardedService, clients: List[ClosedLoopClient]
+) -> List[Violation]:
+    """Every acknowledged operation is still applied somewhere correct."""
+    violations: List[Violation] = []
+    for client in clients:
+        for record in client.history:
+            shard = service.shard_for(record.key)
+            if not any(
+                replica.command_applied(record.client_id, record.seq)
+                for replica in service.correct_replicas(shard)
+            ):
+                violations.append(
+                    Violation(
+                        kind="durability",
+                        shard=shard,
+                        detail=(
+                            f"acknowledged op ({record.client_id!r}, seq={record.seq}, "
+                            f"{record.op} {record.key!r}) is applied at no correct replica"
+                        ),
+                    )
+                )
+    return violations
+
+
+def linearizability_violations(clients: List[ClosedLoopClient]) -> List[Violation]:
+    """Wing–Gong check of the merged client history against the KV spec."""
+    merged = [record for client in clients for record in client.history]
+    verdict = check_history(merged)
+    return [
+        Violation(
+            kind="linearizability",
+            shard=-1,
+            detail=f"key {failure.key!r}: {failure.reason}",
+        )
+        for failure in verdict.failures
+    ]
+
+
+def check_invariants(
+    service: ShardedService, clients: List[ClosedLoopClient]
+) -> List[Violation]:
+    """Run every probe; the returned order is deterministic."""
+    violations: List[Violation] = []
+    violations.extend(agreement_violations(service))
+    violations.extend(session_violations(service, clients))
+    violations.extend(divergence_violations(service))
+    violations.extend(durability_violations(service, clients))
+    violations.extend(linearizability_violations(clients))
+    return violations
+
+
+# ------------------------------------------------------------------ feature harvest --
+def harvest_features(
+    service: ShardedService, clients: List[ClosedLoopClient]
+) -> Dict[str, int]:
+    """The coverage feature vector (every value a non-negative int).
+
+    Protocol counters are read through the recovery-proof
+    ``ShardedService._lifetime_counter`` accessors (retired + live
+    incarnations), so features are monotone over the run regardless of
+    restarts — the counter-gap audit of this PR exists precisely so a restart
+    cannot make a campaign believe a behaviour disappeared.
+    """
+    recoveries = sum(
+        shell.recoveries for system in service.systems for shell in system.shells
+    )
+    leader_changes = 0
+    for system in service.systems:
+        for shell in system.shells:
+            history = getattr(shell.algorithm, "omega", None)
+            if history is not None:
+                leader_changes += max(0, len(history.leader_history) - 1)
+    dropped = sum(system.stats.total_dropped for system in service.systems)
+    return {
+        "decided_positions": service.total_instances(),
+        "applied_commands": service.total_applied(),
+        "completed_ops": sum(client.stats.completed for client in clients),
+        "client_retries": sum(client.stats.retries for client in clients),
+        "leader_changes": leader_changes,
+        "round_resyncs": service.round_resyncs(),
+        "suspicions_sent": service._lifetime_counter("suspicions_sent"),
+        "catchup_polls": service.catchup_polls(),
+        "catchup_replies": service.catchup_replies(),
+        "recoveries": recoveries,
+        "messages_dropped": dropped,
+        "corrupted_messages": service.corrupted_messages(),
+        "corruption_rejections": service.corruption_rejections(),
+        "snapshots_taken": service.snapshots_taken(),
+        "snapshot_restores": service.snapshot_restores(),
+        "positions_compacted": service.positions_compacted(),
+        "snapshots_rejected": service.snapshots_rejected(),
+        "storage_writes": service.storage_writes(),
+    }
+
+
+def _leader_change_times(service: ShardedService) -> Tuple[float, ...]:
+    """Merged, deduplicated leader-change instants across live incarnations."""
+    times = set()
+    for system in service.systems:
+        for shell in system.shells:
+            omega = getattr(shell.algorithm, "omega", None)
+            if omega is None:
+                continue
+            for index, (when, _leader) in enumerate(omega.leader_history):
+                if index > 0:
+                    times.add(round(float(when), 6))
+    return tuple(sorted(times))
+
+
+# ------------------------------------------------------------------ the instrument --
+def run_scenario(spec: ScenarioSpec, plan: FaultPlan) -> ExecutionResult:
+    """Execute one ``(spec, plan)`` pair; pure in ``(spec, plan, spec.seed)``."""
+    plan.validate(spec.n, spec.t)
+    service = build_service(spec, plan)
+    clients = start_clients(
+        service,
+        num_clients=spec.num_clients,
+        workload_factory=lambda index: uniform_workload(
+            spec.num_keys, read_fraction=spec.read_fraction
+        ),
+        poll_interval=spec.poll_interval,
+        retry_timeout=spec.retry_timeout,
+        stop_at=spec.quiesce_at,
+        record_history=True,
+    )
+    service.run_until(spec.horizon)
+
+    violations = tuple(check_invariants(service, clients))
+    features = harvest_features(service, clients)
+    history = sorted(
+        record.to_tuple() for client in clients for record in client.history
+    )
+    digests = [
+        sorted(service.state_digests(shard)) for shard in range(service.num_shards)
+    ]
+    payload = repr(
+        (
+            sorted(features.items()),
+            [
+                (violation.kind, violation.shard, violation.detail)
+                for violation in violations
+            ],
+            digests,
+            history,
+        )
+    ).encode("utf-8")
+    return ExecutionResult(
+        spec_data=spec.to_dict(),
+        plan_data=plan.to_dict(),
+        features=features,
+        violations=violations,
+        leader_change_times=_leader_change_times(service),
+        fingerprint=hashlib.sha256(payload).hexdigest(),
+        amnesia_hazards=tuple(
+            hazard
+            for shard in range(service.num_shards)
+            for hazard in service.amnesia_hazards[shard]
+        ),
+        assumption_violations=tuple(
+            violation
+            for shard in range(service.num_shards)
+            for violation in service.assumption_violations[shard]
+        ),
+        history_len=len(history),
+    )
+
+
+__all__ = [
+    "ADVERSARIES",
+    "ConstantDelayScenario",
+    "ExecutionResult",
+    "ScenarioSpec",
+    "Violation",
+    "agreement_violations",
+    "build_service",
+    "check_invariants",
+    "divergence_violations",
+    "durability_violations",
+    "harvest_features",
+    "linearizability_violations",
+    "run_scenario",
+    "session_violations",
+]

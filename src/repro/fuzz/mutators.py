@@ -1,0 +1,266 @@
+"""Structure-aware mutation of fault plans.
+
+Mutators operate on the *event list* of a plan, never on raw bytes: they
+splice chunks between plans, drop and retime events, perturb loss/corruption
+probabilities, move topology events to hover around observed leader changes
+(the feedback loop's most valuable signal — the amnesia family of bugs lives
+exactly there) and insert fresh events drawn from the full fault vocabulary.
+
+Every candidate is re-validated through ``FaultPlan.validate`` before it
+leaves the engine — the crash budget (never more than ``t`` down), pid
+ranges, crash/recover pairing and, in admission-checked campaigns, the
+quorum-amnesia check all hold for every mutant, so the executor never sees a
+malformed plan and a storage-off campaign can choose to stay within the
+amnesia-safe envelope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.simulation.faults import (
+    CorruptLink,
+    Crash,
+    FaultEvent,
+    FaultPlan,
+    LinkFault,
+    PartitionHeal,
+    PartitionStart,
+    Recover,
+    SlowProcess,
+)
+from repro.util.rng import RandomSource
+
+#: Hard cap on mutant size — keeps plans readable and minimization cheap.
+MAX_EVENTS = 32
+
+
+def _replace_time(event: FaultEvent, time: float, horizon: float) -> FaultEvent:
+    """Move *event* to *time* (clamped into ``[0, horizon]``), shifting its
+    ``until`` window along when it has one so the window length survives."""
+    time = min(max(0.0, time), horizon)
+    until = getattr(event, "until", None)
+    if until is not None:
+        window = max(0.5, until - event.time)
+        return dataclasses.replace(event, time=time, until=time + window)
+    return dataclasses.replace(event, time=time)
+
+
+class MutationEngine:
+    """Draws validated mutants of a parent plan.
+
+    Parameters
+    ----------
+    n, t:
+        System parameters every mutant must validate against.
+    horizon:
+        Upper bound for event times (mutants never act after the run ends).
+    require_quorum_memory:
+        When True, mutants that would admit quorum amnesia (enough restarts
+        to cover a quorum intersection, see ``FaultPlan.amnesia_hazards``)
+        are rejected at validation — the admission mode of storage-off
+        campaigns that hunt for *other* bugs.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        horizon: float = 100.0,
+        require_quorum_memory: bool = False,
+        max_tries: int = 16,
+    ) -> None:
+        self.n = n
+        self.t = t
+        self.horizon = horizon
+        self.require_quorum_memory = require_quorum_memory
+        self.max_tries = max_tries
+        self._mutators = (
+            self._drop_event,
+            self._retime_event,
+            self._retime_to_leader_change,
+            self._perturb_probability,
+            self._splice_from_donor,
+            self._insert_crash_recover,
+            self._insert_link_fault,
+            self._insert_corruption,
+            self._insert_partition,
+            self._insert_slowdown,
+        )
+
+    # ------------------------------------------------------------------ entry point --
+    def mutate(
+        self,
+        plan: FaultPlan,
+        rng: RandomSource,
+        donors: Sequence[FaultPlan] = (),
+        leader_change_times: Sequence[float] = (),
+    ) -> Optional[FaultPlan]:
+        """Return one validated mutant of *plan*, or None when every draw of
+        this rng failed validation (rare; callers simply skip the slot)."""
+        for _ in range(self.max_tries):
+            mutator = rng.choice(self._mutators)
+            events = list(plan.events)
+            try:
+                candidate = mutator(events, rng, donors, leader_change_times)
+            except ValueError:
+                continue  # the event constructor itself refused the draw
+            if candidate is None or not 0 < len(candidate) <= MAX_EVENTS:
+                continue
+            mutant = FaultPlan(candidate)
+            try:
+                mutant.validate(
+                    self.n, self.t, require_quorum_memory=self.require_quorum_memory
+                )
+            except ValueError:
+                continue
+            return mutant
+        return None
+
+    # ------------------------------------------------------------------ mutators --
+    def _drop_event(self, events, rng, donors, changes):
+        if not events:
+            return None
+        victim = rng.randint(0, len(events) - 1)
+        dropped = events[victim]
+        del events[victim]
+        # Dropping one half of a crash/recover pair rarely validates; drop the
+        # partner too so the mutation usually lands.
+        if isinstance(dropped, (Crash, Recover)):
+            partner_cls = Recover if isinstance(dropped, Crash) else Crash
+            partners = [
+                i
+                for i, event in enumerate(events)
+                if isinstance(event, partner_cls) and event.pid == dropped.pid
+            ]
+            if partners:
+                del events[rng.choice(partners)]
+        return events
+
+    def _retime_event(self, events, rng, donors, changes):
+        if not events:
+            return None
+        index = rng.randint(0, len(events) - 1)
+        jitter = rng.uniform(-6.0, 6.0)
+        events[index] = _replace_time(
+            events[index], events[index].time + jitter, self.horizon
+        )
+        return events
+
+    def _retime_to_leader_change(self, events, rng, donors, changes):
+        """Aim a topology or crash event at an observed leader change."""
+        if not events or not changes:
+            return None
+        index = rng.randint(0, len(events) - 1)
+        target = rng.choice(list(changes)) + rng.uniform(-3.0, 3.0)
+        moved = _replace_time(events[index], target, self.horizon)
+        # Keep crash/recover pairs ordered: shift the partner by the same delta.
+        if isinstance(events[index], (Crash, Recover)):
+            delta = moved.time - events[index].time
+            pid = events[index].pid
+            for i, event in enumerate(events):
+                if i != index and isinstance(event, (Crash, Recover)) and event.pid == pid:
+                    events[i] = _replace_time(event, event.time + delta, self.horizon)
+        events[index] = moved
+        return events
+
+    def _perturb_probability(self, events, rng, donors, changes):
+        candidates = [
+            i for i, event in enumerate(events) if isinstance(event, (LinkFault, CorruptLink))
+        ]
+        if not candidates:
+            return None
+        index = rng.choice(candidates)
+        event = events[index]
+        probability = round(rng.uniform(0.05, 1.0), 3)
+        if isinstance(event, CorruptLink):
+            events[index] = dataclasses.replace(event, probability=probability)
+        else:
+            events[index] = dataclasses.replace(
+                event, block=False, loss_probability=probability
+            )
+        return events
+
+    def _splice_from_donor(self, events, rng, donors, changes):
+        pool = [donor for donor in donors if len(donor.events) > 0]
+        if not pool:
+            return None
+        donor = rng.choice(pool)
+        chunk_len = rng.randint(1, min(3, len(donor.events)))
+        start = rng.randint(0, len(donor.events) - chunk_len)
+        events.extend(donor.events[start : start + chunk_len])
+        return events
+
+    def _insert_crash_recover(self, events, rng, donors, changes):
+        pid = rng.randint(0, self.n - 1)
+        down_at = rng.uniform(1.0, self.horizon * 0.7)
+        downtime = rng.uniform(2.0, 10.0)
+        events.append(Crash(time=down_at, pid=pid))
+        events.append(
+            Recover(time=min(down_at + downtime, self.horizon), pid=pid)
+        )
+        return events
+
+    def _insert_link_fault(self, events, rng, donors, changes):
+        sender = rng.randint(0, self.n - 1)
+        dest = (sender + rng.randint(1, self.n - 1)) % self.n
+        start = rng.uniform(1.0, self.horizon * 0.8)
+        if rng.random() < 0.5:
+            fault = LinkFault(
+                time=start,
+                sender=sender,
+                dest=dest,
+                block=True,
+                until=start + rng.uniform(2.0, 20.0),
+            )
+        else:
+            fault = LinkFault(
+                time=start,
+                sender=sender,
+                dest=dest,
+                loss_probability=round(rng.uniform(0.1, 0.9), 3),
+                until=start + rng.uniform(5.0, 25.0),
+            )
+        events.append(fault)
+        return events
+
+    def _insert_corruption(self, events, rng, donors, changes):
+        sender = rng.randint(0, self.n - 1)
+        dest = (sender + rng.randint(1, self.n - 1)) % self.n
+        start = rng.uniform(1.0, self.horizon * 0.8)
+        events.append(
+            CorruptLink(
+                time=start,
+                sender=sender,
+                dest=dest,
+                probability=round(rng.uniform(0.1, 1.0), 3),
+                until=start + rng.uniform(5.0, 25.0),
+            )
+        )
+        return events
+
+    def _insert_partition(self, events, rng, donors, changes):
+        isolated = rng.randint(0, self.n - 1)
+        start = rng.uniform(1.0, self.horizon * 0.8)
+        events.append(PartitionStart(time=start, groups=((isolated,),)))
+        events.append(
+            PartitionHeal(time=min(start + rng.uniform(4.0, 18.0), self.horizon))
+        )
+        return events
+
+    def _insert_slowdown(self, events, rng, donors, changes):
+        pid = rng.randint(0, self.n - 1)
+        start = rng.uniform(1.0, self.horizon * 0.8)
+        events.append(
+            SlowProcess(
+                time=start,
+                pid=pid,
+                factor=round(rng.uniform(1.5, 8.0), 2),
+                until=start + rng.uniform(5.0, 20.0),
+            )
+        )
+        return events
+
+
+__all__ = ["MAX_EVENTS", "MutationEngine"]

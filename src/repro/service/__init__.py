@@ -17,8 +17,10 @@ The layering, bottom up:
 
 from repro.consensus.commands import Batch, Command, flatten_value
 from repro.service.clients import (
+    RESULT_UNKNOWN,
     ClientStats,
     ClosedLoopClient,
+    OperationRecord,
     UniformKeys,
     Workload,
     ZipfianKeys,
@@ -37,6 +39,8 @@ __all__ = [
     "ClosedLoopClient",
     "Command",
     "KeyValueStore",
+    "OperationRecord",
+    "RESULT_UNKNOWN",
     "ServiceReplica",
     "ShardRouter",
     "ShardedService",

@@ -168,6 +168,48 @@ class ClientStats:
     latencies: List[float] = dataclasses.field(default_factory=list)
 
 
+#: Sentinel result recorded when a completed operation's return value could not
+#: be read back (the applying replica had already moved its session cache on).
+#: Consumers that check results — the linearizability probe of
+#: :mod:`repro.fuzz.linearizability` — treat it as unconstrained.
+RESULT_UNKNOWN = "__result_unknown__"
+
+
+@dataclasses.dataclass(frozen=True)
+class OperationRecord:
+    """One completed client operation, timed on the shared virtual clock.
+
+    ``invoked_at`` is when the command was first issued and ``completed_at``
+    when the client *observed* it applied (a poll tick at or after the actual
+    application).  Any linearization point of the operation therefore lies
+    inside ``[invoked_at, completed_at]``, which is exactly what a
+    Wing–Gong-style linearizability check needs; observing the response late
+    only loosens the real-time order, it can never manufacture a violation.
+    """
+
+    client_id: str
+    seq: int
+    op: str
+    key: str
+    args: Tuple
+    invoked_at: float
+    completed_at: float
+    result: object
+
+    def to_tuple(self) -> Tuple:
+        """Stable tuple form (fingerprints and cross-process transport)."""
+        return (
+            self.client_id,
+            self.seq,
+            self.op,
+            self.key,
+            tuple(self.args),
+            self.invoked_at,
+            self.completed_at,
+            self.result,
+        )
+
+
 class ClosedLoopClient:
     """One client session with exactly one command in flight.
 
@@ -193,6 +235,12 @@ class ClosedLoopClient:
         in flight still completes and is retried as usual).  Lets a run
         quiesce before final state is compared — benchmarks use it so their
         end-of-run digests are not sampled mid-broadcast.
+    record_history:
+        When True, every completed operation is appended to :attr:`history` as
+        an :class:`OperationRecord` — operation, key, arguments, invocation and
+        completion times, and the result read back from the applying replica.
+        This is the client-visible history the linearizability probe of
+        :mod:`repro.fuzz` checks against the key-value specification.
     """
 
     def __init__(
@@ -205,6 +253,7 @@ class ClosedLoopClient:
         retry_timeout: float = 40.0,
         think_time: float = 0.0,
         stop_at: Optional[float] = None,
+        record_history: bool = False,
     ) -> None:
         require_positive(poll_interval, "poll_interval")
         require_positive(retry_timeout, "retry_timeout")
@@ -216,6 +265,9 @@ class ClosedLoopClient:
         self.retry_timeout = retry_timeout
         self.think_time = think_time
         self.stop_at = stop_at
+        self.record_history = record_history
+        #: Completed operations in completion order (empty unless recording).
+        self.history: List[OperationRecord] = []
         self.stats = ClientStats()
         self.seq = 0
         self.gateway = rng.randint(0, service.n - 1)
@@ -247,9 +299,12 @@ class ClosedLoopClient:
         command = self._current
         if command is None:
             return
-        if self._completed(command):
+        applied_at = self._applied_replica(command)
+        if applied_at is not None:
             self.stats.completed += 1
             self.stats.latencies.append(self.service.now - self._issued_at)
+            if self.record_history:
+                self._record(command, applied_at)
             self._current = None
             self.service.scheduler.schedule_after(self.think_time, self._issue_next)
             return
@@ -263,10 +318,38 @@ class ClosedLoopClient:
         self.service.scheduler.schedule_after(self.poll_interval, self._poll)
 
     def _completed(self, command: Command) -> bool:
+        return self._applied_replica(command) is not None
+
+    def _applied_replica(self, command: Command):
+        """The first correct replica that applied *command*, or ``None``."""
         assert self._shard is not None
-        return any(
-            replica.command_applied(command.client_id, command.seq)
-            for replica in self.service.correct_replicas(self._shard)
+        for replica in self.service.correct_replicas(self._shard):
+            if replica.command_applied(command.client_id, command.seq):
+                return replica
+        return None
+
+    def _record(self, command: Command, replica) -> None:
+        """Append the completed *command* (result read from *replica*) to history."""
+        machine = replica.state_machine
+        result = RESULT_UNKNOWN
+        last_seq = getattr(machine, "last_seq", None)
+        if last_seq is not None and last_seq(command.client_id) == command.seq:
+            # The session cache still holds this command's result (it does
+            # whenever this client's newest command at this shard is the one
+            # completing, i.e. always in the one-in-flight discipline — a
+            # duplicate decided later never advances the cache).
+            result = machine.last_result(command.client_id)
+        self.history.append(
+            OperationRecord(
+                client_id=command.client_id,
+                seq=command.seq,
+                op=command.op,
+                key=command.key,
+                args=tuple(command.args),
+                invoked_at=self._issued_at,
+                completed_at=self.service.now,
+                result=result,
+            )
         )
 
 
@@ -279,6 +362,7 @@ def start_clients(
     think_time: float = 0.0,
     stagger: float = 1.0,
     stop_at: Optional[float] = None,
+    record_history: bool = False,
 ) -> List[ClosedLoopClient]:
     """Create and start *num_clients* closed-loop clients with staggered arrivals."""
     require_positive(num_clients, "num_clients")
@@ -293,6 +377,7 @@ def start_clients(
             retry_timeout=retry_timeout,
             think_time=think_time,
             stop_at=stop_at,
+            record_history=record_history,
         )
         client.start(delay=stagger * index / max(1, num_clients))
         clients.append(client)

@@ -413,21 +413,39 @@ class ShardedService:
             for store in storage.stores()
         )
 
-    def _snapshot_counter(self, name: str) -> int:
-        """Whole-run total of one snapshot-manager counter, recovery-proof.
+    def _lifetime_counter(self, name: str) -> int:
+        """Whole-run total of one monotone protocol counter, recovery-proof.
 
-        Like :meth:`corruption_rejections`: live incarnations' counters plus
-        the retired totals the shells harvested at each recovery.
+        Live incarnations' counters (``lifetime_counters()``) plus the retired
+        totals the shells harvested at each recovery — the pattern behind
+        :meth:`corruption_rejections`, generalised.  Every coverage feature of
+        :mod:`repro.fuzz` reads through here, so a restart can never make a
+        feature count shrink mid-campaign.
         """
         total = 0
         for system in self.systems:
             for shell in system.shells:
                 total += shell.retired_counters.get(name, 0)
-                log = getattr(shell.algorithm, "log", None)
-                manager = getattr(log, "snapshots", None) if log is not None else None
-                if manager is not None:
-                    total += getattr(manager, name)
+                harvest = getattr(shell.algorithm, "lifetime_counters", None)
+                if harvest is not None:
+                    total += int(harvest().get(name, 0))
         return total
+
+    # Alias kept for the snapshot accessors below (their counters ride along in
+    # lifetime_counters via the snapshot manager).
+    _snapshot_counter = _lifetime_counter
+
+    def round_resyncs(self) -> int:
+        """Receiving-round fast-forwards across all shards and incarnations."""
+        return self._lifetime_counter("round_resyncs")
+
+    def catchup_polls(self) -> int:
+        """Catch-up polls sent across all shards and incarnations."""
+        return self._lifetime_counter("catchup_polls_sent")
+
+    def catchup_replies(self) -> int:
+        """Catch-up replies served across all shards and incarnations."""
+        return self._lifetime_counter("catchup_replies_sent")
 
     def snapshots_taken(self) -> int:
         """Snapshots captured across all shards and incarnations."""

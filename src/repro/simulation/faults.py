@@ -263,6 +263,71 @@ class SlowProcess(FaultEvent):
         return f"slow(p{self.pid} x{self.factor:g})@{self.time:g}"
 
 
+#: Wire names of the event kinds, used by the ``to_dict``/``from_dict``
+#: round-trip (the corpus format of :mod:`repro.fuzz`).  Append-only: renaming
+#: a kind would orphan every serialized plan that names it.
+EVENT_KINDS: Dict[str, type] = {
+    "crash": Crash,
+    "recover": Recover,
+    "partition_start": PartitionStart,
+    "partition_heal": PartitionHeal,
+    "link_fault": LinkFault,
+    "link_heal": LinkHeal,
+    "corrupt_link": CorruptLink,
+    "slow_process": SlowProcess,
+}
+
+_KIND_OF_EVENT = {cls: kind for kind, cls in EVENT_KINDS.items()}
+
+
+def event_to_dict(event: FaultEvent) -> Dict[str, object]:
+    """Serialize one :class:`FaultEvent` into a JSON-compatible dict."""
+    kind = _KIND_OF_EVENT.get(type(event))
+    if kind is None:
+        raise TypeError(f"cannot serialize unknown fault event {event!r}")
+    payload: Dict[str, object] = {"kind": kind}
+    for field in dataclasses.fields(event):
+        value = getattr(event, field.name)
+        if field.name == "groups":
+            value = [list(group) for group in value]
+        payload[field.name] = value
+    return payload
+
+
+def event_from_dict(data: Mapping[str, object]) -> FaultEvent:
+    """Rebuild a :class:`FaultEvent` from :func:`event_to_dict` output.
+
+    Validation happens on load: an unknown ``kind``, an unknown field, a
+    missing field or an out-of-range value (the dataclasses re-run their
+    ``__post_init__`` checks) all raise ``ValueError`` — a corrupted or
+    hand-edited corpus entry fails loudly instead of mutating silently.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"fault event must be a mapping, got {data!r}")
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault event kind {kind!r} (expected one of {sorted(EVENT_KINDS)})"
+        )
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - field_names)
+    if unknown:
+        raise ValueError(f"unknown field(s) {unknown} for fault event kind {kind!r}")
+    if "groups" in payload:
+        groups = payload["groups"]
+        if not isinstance(groups, (list, tuple)):
+            raise ValueError(f"partition groups must be a list, got {groups!r}")
+        payload["groups"] = tuple(
+            tuple(int(pid) for pid in group) for group in groups
+        )
+    try:
+        return cls(**payload)
+    except TypeError as exc:  # missing required fields
+        raise ValueError(f"invalid {kind!r} event {dict(data)!r}: {exc}") from exc
+
+
 #: Event kinds that change topology (and therefore require a LinkState matrix).
 _TOPOLOGY_EVENTS = (
     PartitionStart,
@@ -516,6 +581,46 @@ class FaultPlan:
                     until=rng.uniform(at + horizon / 10, horizon),
                 )
             )
+        return plan
+
+    # ------------------------------------------------------------------ serialization --
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the plan (event order preserved) into a JSON-compatible dict.
+
+        The inverse of :meth:`from_dict`; the round-trip is exact, so a
+        deserialized plan replays byte-identically — the property the fuzz
+        corpus (:mod:`repro.fuzz.corpus`) and saved demo plans rely on.
+        """
+        return {
+            "version": 1,
+            "events": [event_to_dict(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, object],
+        n: Optional[int] = None,
+        t: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output, validating on load.
+
+        Malformed input — wrong version, unknown event kinds or fields,
+        out-of-range values — raises ``ValueError``.  Passing ``n`` and ``t``
+        additionally runs :meth:`validate`, so a plan loaded for a concrete
+        system is checked against its ≤ t budget before anything executes it.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"fault plan must be a mapping, got {data!r}")
+        version = data.get("version", 1)
+        if version != 1:
+            raise ValueError(f"unsupported fault-plan version {version!r}")
+        events = data.get("events")
+        if not isinstance(events, (list, tuple)):
+            raise ValueError(f"fault plan 'events' must be a list, got {events!r}")
+        plan = cls(event_from_dict(event) for event in events)
+        if n is not None:
+            plan.validate(n, t if t is not None else 0)
         return plan
 
     # ------------------------------------------------------------------ queries --
@@ -1091,6 +1196,7 @@ class FaultInjector:
 __all__ = [
     "CorruptLink",
     "Crash",
+    "EVENT_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
@@ -1101,4 +1207,6 @@ __all__ = [
     "PartitionStart",
     "Recover",
     "SlowProcess",
+    "event_from_dict",
+    "event_to_dict",
 ]

@@ -1,0 +1,110 @@
+"""Corpus store and coverage map: dedup, persistence, novelty semantics."""
+
+import pytest
+
+from repro.fuzz.corpus import (
+    Corpus,
+    CorpusEntry,
+    amnesia_witness_plan,
+    benign_seed_plans,
+    plan_fingerprint,
+    seed_corpus,
+)
+from repro.fuzz.coverage import CoverageMap, bucket, signature
+from repro.simulation.faults import Crash, FaultPlan, Recover
+
+
+class TestCorpus:
+    def test_dedup_by_fingerprint(self):
+        plan = FaultPlan([Crash(time=5.0, pid=1), Recover(time=9.0, pid=1)])
+        corpus = Corpus()
+        assert corpus.add(CorpusEntry(name="a", plan_data=plan.to_dict()))
+        # Same plan under another name: rejected.
+        assert not corpus.add(CorpusEntry(name="b", plan_data=plan.to_dict()))
+        assert len(corpus) == 1 and corpus.names() == ["a"]
+
+    def test_fingerprint_is_field_order_insensitive(self):
+        data = FaultPlan([Crash(time=5.0, pid=1)]).to_dict()
+        reordered = {
+            "events": [dict(reversed(list(data["events"][0].items())))],
+            "version": data["version"],
+        }
+        assert plan_fingerprint(data) == plan_fingerprint(reordered)
+
+    def test_save_load_round_trip(self, tmp_path):
+        corpus = seed_corpus(3, 1)
+        corpus.save(str(tmp_path))
+        loaded = Corpus.load(str(tmp_path))
+        # Directory load is name-sorted; same set of entries and plans.
+        assert sorted(loaded.names()) == sorted(corpus.names())
+        for entry in corpus:
+            assert loaded.get(entry.name).fingerprint() == entry.fingerprint()
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusEntry.from_dict({"name": "x", "plan": {"version": 1, "events": [{"kind": "nope"}]}})
+        with pytest.raises(ValueError):
+            CorpusEntry.from_dict({"plan": FaultPlan.none().to_dict()})  # no name
+
+    def test_seed_corpus_contents(self):
+        corpus = seed_corpus(3, 1)
+        names = corpus.names()
+        assert "amnesia-witness" in names
+        assert "benign-empty" in names and "benign-corruption" in names
+        # Every benign seed validates under (3, 1) and the witness carries the
+        # PR-5 restart structure the hunt campaign relies on.
+        witness = corpus.get("amnesia-witness").plan(n=3, t=1)
+        assert witness.has_recoveries()
+        assert witness.amnesia_hazards(3, 1)
+
+    def test_benign_seeds_preserve_the_assumption(self):
+        for name, plan in benign_seed_plans(3, 1):
+            assert plan.final_down_ids() == [], name
+
+    def test_witness_plan_matches_serialized_seed(self):
+        corpus = seed_corpus(3, 1)
+        assert (
+            corpus.get("amnesia-witness").fingerprint()
+            == plan_fingerprint(amnesia_witness_plan().to_dict())
+        )
+
+
+class TestCoverage:
+    def test_bucket_is_log2(self):
+        assert [bucket(v) for v in (0, 1, 2, 3, 4, 7, 8, 1000)] == [
+            0, 1, 2, 2, 3, 3, 4, 10,
+        ]
+
+    def test_first_observation_is_interesting(self):
+        cov = CoverageMap()
+        new_pairs, new_sig = cov.observe({"x": 1, "y": 0})
+        assert new_pairs == 2 and new_sig
+
+    def test_repeat_observation_is_boring(self):
+        cov = CoverageMap()
+        cov.observe({"x": 1, "y": 0})
+        assert cov.observe({"x": 1, "y": 0}) == (0, False)
+        assert not cov.is_interesting({"x": 1, "y": 0})
+
+    def test_same_bucket_different_count_is_boring(self):
+        cov = CoverageMap()
+        cov.observe({"x": 4})
+        new_pairs, new_sig = cov.observe({"x": 7})  # both bucket 3
+        assert new_pairs == 0 and not new_sig
+
+    def test_new_combination_of_known_pairs_is_interesting(self):
+        cov = CoverageMap()
+        cov.observe({"x": 1, "y": 0})
+        cov.observe({"x": 0, "y": 1})
+        new_pairs, new_sig = cov.observe({"x": 1, "y": 1})  # pairs known, combo new
+        assert new_pairs == 0 and new_sig
+
+    def test_signature_order_insensitive(self):
+        assert signature({"a": 1, "b": 2}) == signature({"b": 2, "a": 1})
+
+    def test_merge_unions(self):
+        left, right = CoverageMap(), CoverageMap()
+        left.observe({"x": 1})
+        right.observe({"y": 1})
+        left.merge(right)
+        assert left.pairs_seen == 2 and left.observations == 2

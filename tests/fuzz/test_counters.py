@@ -1,0 +1,84 @@
+"""Counter-gap regressions: coverage features must survive recoveries.
+
+The fuzzer's feedback loop reads behavioural counters as whole-run totals;
+before this audit two classes of counters silently reset at every restart:
+
+* the Omega layer's soft-state counters (``round_resyncs``,
+  ``suspicions_sent``) were not harvested by
+  ``OmegaConsensusStack.lifetime_counters`` at all, so a recovery threw the
+  dying incarnation's totals away;
+* the catch-up protocol had no counters (``catchup_polls_sent``,
+  ``catchup_replies_sent`` are new with the fuzz subsystem).
+
+These tests pin the harvest path end to end: the stack merges both layers,
+``SimProcessShell.recover`` retires them, and the recovery-proof
+``ShardedService._lifetime_counter`` totals never shrink mid-run.
+"""
+
+from repro.consensus.stack import OmegaConsensusStack
+from repro.fuzz.executor import ScenarioSpec, build_service
+from repro.simulation.faults import Crash, FaultPlan, Recover
+
+
+class TestStackHarvest:
+    def test_lifetime_counters_merge_omega_soft_state(self):
+        stack = OmegaConsensusStack(pid=0, n=3, t=1)
+        stack.omega.round_resyncs = 4
+        stack.omega.suspicions_sent = 17
+        stack.log.catchup_polls_sent = 3
+        stack.log.catchup_replies_sent = 2
+        counters = stack.lifetime_counters()
+        assert counters["round_resyncs"] == 4
+        assert counters["suspicions_sent"] == 17
+        assert counters["catchup_polls_sent"] == 3
+        assert counters["catchup_replies_sent"] == 2
+        # The log-layer counters still ride along.
+        assert "corrupt_rejected" in counters
+        assert "proposals_started" in counters
+
+
+def _service_with_restart(run_to=None):
+    spec = ScenarioSpec(seed=3)
+    plan = FaultPlan([Crash(time=20.0, pid=1), Recover(time=26.0, pid=1)])
+    service = build_service(spec, plan)
+    service.run_until(run_to if run_to is not None else spec.horizon)
+    return service
+
+
+class TestRecoveryProofTotals:
+    def test_recover_retires_omega_and_catchup_counters(self):
+        service = _service_with_restart()
+        shell = service.systems[0].shells[1]
+        assert shell.recoveries == 1
+        # The harvest ran and captured the merged counter set, including the
+        # keys that used to be dropped.
+        for key in (
+            "round_resyncs",
+            "suspicions_sent",
+            "catchup_polls_sent",
+            "catchup_replies_sent",
+            "corrupt_rejected",
+        ):
+            assert key in shell.retired_counters
+        # The dying incarnation polled for catch-up at least once while the
+        # leader was proposing without it; those polls must not be lost.
+        assert shell.retired_counters["suspicions_sent"] > 0
+
+    def test_totals_are_monotone_across_the_restart(self):
+        before = _service_with_restart(run_to=19.9)
+        after = _service_with_restart()
+        for accessor in ("round_resyncs", "catchup_polls", "catchup_replies"):
+            assert getattr(after, accessor)() >= getattr(before, accessor)()
+        assert after._lifetime_counter("suspicions_sent") > before._lifetime_counter(
+            "suspicions_sent"
+        )
+
+    def test_total_equals_retired_plus_live(self):
+        service = _service_with_restart()
+        shard = service.systems[0]
+        expected = 0
+        for shell in shard.shells:
+            expected += shell.retired_counters.get("catchup_polls_sent", 0)
+            expected += shell.algorithm.lifetime_counters()["catchup_polls_sent"]
+        assert service.catchup_polls() == expected
+        assert service.catchup_polls() > 0

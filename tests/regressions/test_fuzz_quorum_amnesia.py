@@ -1,0 +1,76 @@
+"""Auto-generated fuzz regression: agreement violation found by fuzzing.
+
+Emitted by repro.fuzz.minimize.emit_regression_test from a minimized
+counterexample.  The scenario replays deterministically from the embedded
+(spec, plan) pair; the assertion pins the violation kind(s) the campaign
+observed (skippable via REPRO_SKIP_AMNESIA_WITNESS=1).
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.executor import ScenarioSpec, run_scenario
+from repro.simulation.faults import FaultPlan
+
+SPEC = {'adversary': None,
+ 'adversary_period': 15.0,
+ 'batch_size': 1,
+ 'compaction': None,
+ 'delay': 0.5,
+ 'drive_period': 2.0,
+ 'horizon': 110.0,
+ 'n': 3,
+ 'num_clients': 2,
+ 'num_keys': 4,
+ 'num_shards': 1,
+ 'poll_interval': 1.0,
+ 'quiesce_at': 80.0,
+ 'read_fraction': 0.5,
+ 'retry_period': 10.0,
+ 'retry_timeout': 12.0,
+ 'scenario': 'constant',
+ 'seed': 3,
+ 'stable_storage': False,
+ 't': 1}
+
+PLAN = {'events': [{'block': True,
+             'delay_add': 0.0,
+             'delay_factor': 1.0,
+             'dest': 1,
+             'kind': 'link_fault',
+             'loss_probability': 0.0,
+             'sender': 0,
+             'time': 6.0,
+             'until': None},
+            {'block': True,
+             'delay_add': 0.0,
+             'delay_factor': 1.0,
+             'dest': 2,
+             'kind': 'link_fault',
+             'loss_probability': 0.0,
+             'sender': 0,
+             'time': 6.0,
+             'until': None},
+            {'kind': 'crash', 'pid': 1, 'time': 12.0},
+            {'kind': 'recover', 'pid': 1, 'time': 16.0},
+            {'kind': 'crash', 'pid': 2, 'time': 17.0},
+            {'kind': 'recover', 'pid': 2, 'time': 21.0}],
+ 'version': 1}
+
+EXPECTED_KINDS = ('agreement',)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_AMNESIA_WITNESS") == "1",
+    reason="disabled via REPRO_SKIP_AMNESIA_WITNESS=1",
+)
+def test_fuzz_agreement_0():
+    spec = ScenarioSpec.from_dict(SPEC)
+    plan = FaultPlan.from_dict(PLAN, n=spec.n, t=spec.t)
+    result = run_scenario(spec, plan)
+    observed = {violation.kind for violation in result.violations}
+    assert set(EXPECTED_KINDS) <= observed, (
+        f"expected violation kinds {EXPECTED_KINDS} to reproduce, "
+        f"observed {sorted(observed)}"
+    )
