@@ -22,7 +22,6 @@ time.
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fuzz.corpus import Corpus, CorpusEntry
@@ -31,6 +30,7 @@ from repro.fuzz.executor import ExecutionResult, ScenarioSpec, run_scenario
 from repro.fuzz.minimize import emit_regression_test, minimize
 from repro.fuzz.mutators import MutationEngine
 from repro.simulation.faults import FaultPlan
+from repro.util.parallel import run_tasks
 from repro.util.rng import RandomSource, derive_seed
 
 
@@ -255,12 +255,7 @@ class CampaignRunner:
             {"spec": spec.to_dict(), "plan": plan.to_dict()}
             for _, spec, plan in tasks
         ]
-        if self.config.workers and self.config.workers > 1 and len(payloads) > 1:
-            context = multiprocessing.get_context()
-            with context.Pool(processes=self.config.workers) as pool:
-                raw = pool.map(_execute_payload, payloads)
-        else:
-            raw = [_execute_payload(payload) for payload in payloads]
+        raw = run_tasks(_execute_payload, payloads, workers=self.config.workers)
         return [ExecutionResult.from_dict(data) for data in raw]
 
     # ------------------------------------------------------------------ folding --

@@ -483,6 +483,30 @@ class ShardedService:
         """Decided non-noop consensus instances across all shards."""
         return sum(self.decided_instances(shard) for shard in range(self.num_shards))
 
+    def perf_counters(self) -> Dict[str, int]:
+        """Whole-run monotone counters in one dict (reporting/merge surface).
+
+        Everything here is recovery-proof (reads through the retired-counter
+        path) and deterministic for a given seed.  All values are totals
+        except ``peak_decided_residency``, a high-water mark — mergers that
+        combine services (the parallel shard executor) must fold it with
+        ``max``, not ``+``.
+        """
+        return {
+            "recoveries": sum(
+                shell.recoveries
+                for system in self.systems
+                for shell in system.shells
+            ),
+            "storage_writes": self.storage_writes(),
+            "round_resyncs": self.round_resyncs(),
+            "snapshots_taken": self.snapshots_taken(),
+            "snapshot_restores": self.snapshot_restores(),
+            "positions_compacted": self.positions_compacted(),
+            "snapshots_rejected": self.snapshots_rejected(),
+            "peak_decided_residency": self.peak_decided_residency(),
+        }
+
     def rng(self, *labels: object) -> RandomSource:
         """Derive a deterministic random source for workload machinery."""
         return RandomSource(derive_seed(self.seed, "service", *labels))

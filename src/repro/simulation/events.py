@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Sequence
 
 #: Signature of an event callback (called with no arguments, or with ``arg``).
 EventCallback = Callable[..., None]
@@ -101,13 +101,17 @@ class EventQueue:
     def cancel(self, event: Event) -> None:
         """Cancel *event* (no-op if it already ran or was already cancelled).
 
-        Membership is tracked explicitly so that cancelling an event that was
-        already popped (it ran, or was lazily discarded) does not corrupt the
-        live count reported by ``len``.
+        The cancelled flag is set even when the event is no longer in the heap:
+        the scheduler's ``run_until`` drains whole same-timestamp runs before
+        executing them, so an event may be cancelled by an *earlier event of
+        its own timestamp run* after it was popped — the flag is what makes the
+        execution loop skip it.  Membership is tracked explicitly so that only
+        still-queued events adjust the live count reported by ``len``.
         """
-        if event._in_queue and not event.cancelled:
+        if not event.cancelled:
             event.cancelled = True
-            self._live -= 1
+            if event._in_queue:
+                self._live -= 1
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or ``None`` if empty."""
@@ -148,6 +152,24 @@ class EventQueue:
             self._live -= 1
             return event
         return None
+
+    def requeue_run(self, events: Sequence[Event]) -> None:
+        """Push already-drained *events* back into the queue (exception unwind).
+
+        Used by ``run_until`` when a callback raises with part of a drained
+        timestamp run still unexecuted: the remaining events go back under
+        their original ``(time, seq)`` keys, so a caller that catches the
+        exception observes the same pending set as with per-event popping.
+        """
+        heappush = heapq.heappush
+        count = 0
+        for event in events:
+            if event.cancelled:
+                continue
+            heappush(self._heap, (event.time, event.seq, event))
+            event._in_queue = True
+            count += 1
+        self._live += count
 
     def _discard_cancelled(self) -> None:
         heap = self._heap

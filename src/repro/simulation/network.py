@@ -279,6 +279,12 @@ class Network:
         self._tracer = tracer
         self._deliver: Dict[int, DeliveryCallback] = {}
         self._is_alive: Dict[int, LivenessCallback] = {}
+        #: pid -> (is_alive, deliver): one dict hit per delivery instead of two.
+        self._endpoints: Dict[int, tuple] = {}
+        # Messages are scheduled through the queue's raw push (deliver_time is
+        # ``now + delay`` with delay >= 0, so the schedule_at validation is
+        # redundant on this path).
+        self._push_event = scheduler.push_event
         self._msg_ids = itertools.count(1)
         self._registered_ids: List[int] = []
         # Reachability/quality matrix; installed by the fault injector only when
@@ -296,6 +302,7 @@ class Network:
             raise ValueError(f"process {pid} already registered with the network")
         self._deliver[pid] = deliver
         self._is_alive[pid] = is_alive
+        self._endpoints[pid] = (is_alive, deliver)
         self._registered_ids = sorted(self._deliver)
 
     @property
@@ -467,9 +474,7 @@ class Network:
             tag,
             corrupted,
         )
-        self._scheduler.schedule_at(
-            envelope.deliver_time, self._deliver_envelope, envelope
-        )
+        self._push_event(envelope.deliver_time, self._deliver_envelope, envelope)
         if self._tracer is not None:
             self._tracer.record(
                 send_time,
@@ -484,7 +489,8 @@ class Network:
     def _deliver_envelope(self, envelope: Envelope) -> None:
         dest = envelope.dest
         tag = envelope.tag
-        if not self._is_alive[dest]():
+        is_alive, deliver = self._endpoints[dest]
+        if not is_alive():
             # Reception is a local step; a crashed process takes no steps.
             self.stats.record_dropped(tag)
             return
@@ -501,4 +507,4 @@ class Network:
                 sender=envelope.sender,
                 delay=delay,
             )
-        self._deliver[dest](envelope.sender, envelope.message)
+        deliver(envelope.sender, envelope.message)

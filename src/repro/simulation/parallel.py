@@ -1,0 +1,449 @@
+"""Parallel shard execution with a deterministic merge.
+
+:class:`~repro.service.sharding.ShardedService` multiplexes ``S`` independent
+shard groups on **one** event loop — coherent, but bounded by a single core.
+This module is the scale-out path: each shard's event loop runs in its own
+worker process and the per-shard results are merged **deterministically**, so
+a seeded run is byte-identical regardless of worker count.
+
+Why this is exact, not approximate
+----------------------------------
+Shards of a :class:`ShardedService` never exchange messages — each is an
+autonomous ``AS_{n,t}`` system with its own Omega oracle, consensus pipeline,
+delay scenario, fault plan and clients; the only thing they ever shared was
+the clock.  The parallel executor therefore runs each shard as a
+self-contained single-shard service on its **own** virtual clock, seeded with
+``derive_seed(spec.seed, "pshard", shard)``:
+
+* ``workers=0`` (inline) and ``workers=N`` call the *same* pure function
+  :func:`run_shard` on the *same* payloads — only the executing process
+  differs, so per-shard results are trivially byte-identical;
+* the merge folds per-shard results **in shard order, never completion
+  order** (the :mod:`repro.util.parallel` discipline), and the run
+  fingerprint is a digest over the ordered per-shard fingerprints.
+
+What may NOT cross a shard boundary
+-----------------------------------
+Anything that would couple two shards' event loops breaks the decomposition:
+cross-shard client sessions (a client here drives exactly one shard),
+cross-shard transactions or reads, a shared random stream, and any use of one
+global virtual clock for cross-shard timing.  Virtual time is per shard;
+whole-run wall-clock time is the only cross-shard time that exists, and it
+never influences results (fingerprints exclude every wall measurement).
+
+Throughput accounting
+---------------------
+The merged report carries two honest rates: ``events_per_sec`` divides the
+total event count by the whole-run wall time (what this machine actually
+sustained end to end, pool start-up included), and
+``aggregate_events_per_sec`` sums the per-shard rates ``events_i / wall_i``
+(the deployment-level rate of the worker fleet — on a single-core host the
+two coincide up to pool overhead; with real cores they diverge by the
+parallel speedup).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.assumptions.scenarios import IntermittentRotatingStarScenario
+from repro.service.clients import start_clients, zipfian_workload
+from repro.service.sharding import ShardedService
+from repro.simulation.faults import FaultPlan
+from repro.storage.compaction import CompactionPolicy
+from repro.storage.stable_store import WriteCostModel
+from repro.util.parallel import run_tasks
+from repro.util.rng import derive_seed
+
+#: Merged counters that are high-water marks (fold with ``max``); every other
+#: counter is monotone event accounting and folds with ``+``.
+_MAX_COUNTERS = frozenset({"peak_decided_residency"})
+
+
+@dataclasses.dataclass(frozen=True)
+class ParallelServiceSpec:
+    """Everything that defines a parallel service run — JSON-flat and picklable.
+
+    A spec fully determines every shard's execution: the worker receives
+    ``(spec dict, shard index)`` and nothing else, so results can never depend
+    on executor state.  ``to_dict``/``from_dict`` round-trip exactly.
+
+    ``storage_cost`` selects the durability mode: ``None`` runs storage-less,
+    ``0.0`` gives every replica free durable writes, a positive value charges
+    each write on the virtual clock (``WriteCostModel(per_write=...)``).
+    ``compaction_interval`` (with ``compaction_retain``) installs a
+    snapshot/compaction policy on every replica.  ``fault_plans`` maps shard
+    index -> serialized :class:`~repro.simulation.faults.FaultPlan`
+    (``FaultPlan.to_dict`` form); unlisted shards run fault-free.
+    """
+
+    num_shards: int = 4
+    n: int = 3
+    t: int = 1
+    seed: int = 0
+    horizon: float = 300.0
+    clients_per_shard: int = 12
+    num_keys: int = 64
+    read_fraction: float = 0.5
+    zipf_theta: float = 0.99
+    batch_size: int = 8
+    poll_interval: float = 1.0
+    retry_timeout: float = 40.0
+    stop_at: Optional[float] = None
+    storage_cost: Optional[float] = None
+    compaction_interval: Optional[int] = None
+    compaction_retain: int = 16
+    fault_plans: Optional[Dict[int, Dict]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if self.clients_per_shard < 1:
+            raise ValueError(
+                f"clients_per_shard must be >= 1, got {self.clients_per_shard}"
+            )
+        if self.stop_at is not None and not 0 < self.stop_at <= self.horizon:
+            raise ValueError(
+                f"stop_at={self.stop_at} must lie in (0, horizon={self.horizon}]"
+            )
+        if self.storage_cost is not None and self.storage_cost < 0:
+            raise ValueError(f"storage_cost must be >= 0, got {self.storage_cost}")
+        if self.fault_plans is not None:
+            for shard in self.fault_plans:
+                if not 0 <= int(shard) < self.num_shards:
+                    raise ValueError(
+                        f"fault_plans references shard {shard}, valid range is "
+                        f"[0, {self.num_shards})"
+                    )
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ParallelServiceSpec":
+        if not isinstance(data, dict):
+            raise ValueError(f"parallel service spec must be a dict, got {data!r}")
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise ValueError(f"unknown parallel service spec field(s) {unknown}")
+        data = dict(data)
+        plans = data.get("fault_plans")
+        if plans is not None:
+            # JSON round-trips dict keys as strings; normalise back to ints.
+            data["fault_plans"] = {int(shard): plan for shard, plan in plans.items()}
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardResult:
+    """One shard's complete, deterministic outcome (plus its wall time).
+
+    Every field except ``wall_seconds`` is a pure function of
+    ``(spec, shard)``; the ``fingerprint`` digests exactly those fields, so
+    equal inputs produce byte-identical fingerprints in any process.
+    """
+
+    shard: int
+    events: int
+    messages: int
+    committed: int
+    applied: int
+    digests: Tuple[str, ...]
+    consistent: bool
+    counters: Dict[str, int]
+    violations: Tuple[str, ...]
+    wall_seconds: float
+    fingerprint: str
+
+    @property
+    def events_per_sec(self) -> float:
+        """This shard's own event rate (0.0 for a degenerate zero-time run)."""
+        return self.events / self.wall_seconds if self.wall_seconds else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "shard": self.shard,
+            "events": self.events,
+            "messages": self.messages,
+            "committed": self.committed,
+            "applied": self.applied,
+            "digests": list(self.digests),
+            "consistent": self.consistent,
+            "counters": dict(self.counters),
+            "violations": list(self.violations),
+            "wall_seconds": self.wall_seconds,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ShardResult":
+        if not isinstance(data, dict):
+            raise ValueError(f"shard result must be a dict, got {data!r}")
+        names = {field.name for field in dataclasses.fields(cls)}
+        missing = sorted(names - set(data))
+        if missing:
+            raise ValueError(f"shard result is missing field(s) {missing}")
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise ValueError(f"unknown shard result field(s) {unknown}")
+        data = dict(data)
+        data["digests"] = tuple(data["digests"])
+        data["violations"] = tuple(data["violations"])
+        return cls(**data)
+
+
+def _result_fingerprint(payload: Dict) -> str:
+    """SHA-256 over the canonical JSON form of a deterministic payload."""
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def run_shard(spec: ParallelServiceSpec, shard: int) -> ShardResult:
+    """Run *shard* of *spec* to the horizon — the pure per-shard function.
+
+    Builds a self-contained single-shard :class:`ShardedService` on its own
+    virtual clock: shard seed ``derive_seed(spec.seed, "pshard", shard)``,
+    the default intermittent-rotating-star scenario with the *global* shard
+    index rotating the centre (matching the multiplexed deployment's
+    topology diversity), shard-local closed-loop clients, and the spec's
+    storage / compaction / fault-plan configuration for this shard.
+
+    ``workers=0`` and ``workers=N`` paths of :func:`run_parallel_service`
+    both land here with identical arguments; everything but ``wall_seconds``
+    is a pure function of them.
+    """
+    if not 0 <= shard < spec.num_shards:
+        raise ValueError(
+            f"shard {shard} out of range for num_shards={spec.num_shards}"
+        )
+    shard_seed = derive_seed(spec.seed, "pshard", shard)
+
+    def scenario_factory(_local: int) -> IntermittentRotatingStarScenario:
+        return IntermittentRotatingStarScenario(
+            n=spec.n,
+            t=spec.t,
+            center=shard % spec.n,
+            seed=derive_seed(spec.seed, "scenario", shard),
+            max_gap=4,
+        )
+
+    plan_data = (spec.fault_plans or {}).get(shard)
+    fault_plan_factory = None
+    if plan_data is not None:
+        fault_plan_factory = lambda _local: FaultPlan.from_dict(
+            plan_data, n=spec.n, t=spec.t
+        )
+
+    stable_storage: object = False
+    if spec.storage_cost is not None:
+        stable_storage = (
+            True
+            if spec.storage_cost == 0.0
+            else WriteCostModel(per_write=spec.storage_cost)
+        )
+    compaction = None
+    if spec.compaction_interval is not None:
+        compaction = CompactionPolicy(
+            interval=spec.compaction_interval, retain=spec.compaction_retain
+        )
+
+    service = ShardedService(
+        num_shards=1,
+        n=spec.n,
+        t=spec.t,
+        scenario_factory=scenario_factory,
+        fault_plan_factory=fault_plan_factory,
+        batch_size=spec.batch_size,
+        seed=shard_seed,
+        stable_storage=stable_storage,
+        compaction=compaction,
+    )
+    clients = start_clients(
+        service,
+        num_clients=spec.clients_per_shard,
+        workload_factory=lambda i: zipfian_workload(
+            num_keys=spec.num_keys,
+            theta=spec.zipf_theta,
+            read_fraction=spec.read_fraction,
+        ),
+        poll_interval=spec.poll_interval,
+        retry_timeout=spec.retry_timeout,
+        stop_at=spec.stop_at,
+    )
+
+    start = time.perf_counter()
+    service.run_until(spec.horizon)
+    wall = time.perf_counter() - start
+
+    committed = sum(client.stats.completed for client in clients)
+    digests = tuple(service.state_digests(0, correct_only=False))
+    counters = service.perf_counters()
+    violations = tuple(
+        [f"assumption: {v}" for v in service.assumption_violations[0]]
+        + [f"amnesia: {v}" for v in service.amnesia_hazards[0]]
+    )
+    deterministic = {
+        "shard": shard,
+        "digests": list(digests),
+        "applied": service.applied_commands(0),
+        "committed": committed,
+        "consistent": service.is_consistent(),
+        "counters": counters,
+        "violations": list(violations),
+    }
+    return ShardResult(
+        shard=shard,
+        events=service.scheduler.executed,
+        messages=service.systems[0].stats.total_sent,
+        committed=committed,
+        applied=service.applied_commands(0),
+        digests=digests,
+        consistent=service.is_consistent(),
+        counters=counters,
+        violations=violations,
+        wall_seconds=wall,
+        fingerprint=_result_fingerprint(deterministic),
+    )
+
+
+def _run_shard_payload(payload: Dict) -> Dict:
+    """Worker entry point (module-level, dict-in/dict-out — see
+    :mod:`repro.util.parallel` for why)."""
+    spec = ParallelServiceSpec.from_dict(payload["spec"])
+    return run_shard(spec, payload["shard"]).to_dict()
+
+
+@dataclasses.dataclass(frozen=True)
+class ParallelRunReport:
+    """The deterministic merge of every shard's result.
+
+    ``run_fingerprint`` digests the ordered per-shard fingerprints (shard 0
+    first), so it is byte-identical across worker counts; ``wall_seconds``
+    and the two rates are the only fields that vary between runs.
+    """
+
+    spec: ParallelServiceSpec
+    workers: int
+    shards: Tuple[ShardResult, ...]
+    events: int
+    messages: int
+    committed: int
+    applied: int
+    consistent: bool
+    counters: Dict[str, int]
+    violations: Tuple[str, ...]
+    wall_seconds: float
+    run_fingerprint: str
+
+    @property
+    def events_per_sec(self) -> float:
+        """Whole-run rate: total events over end-to-end wall time."""
+        return self.events / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def aggregate_events_per_sec(self) -> float:
+        """Fleet rate: sum of per-shard ``events_i / wall_i``."""
+        return sum(result.events_per_sec for result in self.shards)
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "workers": self.workers,
+            "shards": [result.to_dict() for result in self.shards],
+            "events": self.events,
+            "messages": self.messages,
+            "committed": self.committed,
+            "applied": self.applied,
+            "consistent": self.consistent,
+            "counters": dict(self.counters),
+            "violations": list(self.violations),
+            "wall_seconds": self.wall_seconds,
+            "events_per_sec": round(self.events_per_sec),
+            "aggregate_events_per_sec": round(self.aggregate_events_per_sec),
+            "run_fingerprint": self.run_fingerprint,
+        }
+
+
+def merge_shard_results(
+    spec: ParallelServiceSpec,
+    results: List[ShardResult],
+    workers: int,
+    wall_seconds: float,
+) -> ParallelRunReport:
+    """Fold per-shard results — **in shard order** — into one report.
+
+    Totals are sums, high-water marks (:data:`_MAX_COUNTERS`) fold with
+    ``max``, digests stay per shard, violations concatenate with a shard
+    label, and the run fingerprint digests the ordered per-shard
+    fingerprints.  Nothing here reads a clock or an rng, so the merge is a
+    pure function of the (ordered) results.
+    """
+    ordered = sorted(results, key=lambda result: result.shard)
+    if [result.shard for result in ordered] != list(range(spec.num_shards)):
+        raise ValueError(
+            f"expected one result per shard 0..{spec.num_shards - 1}, got "
+            f"{[result.shard for result in ordered]}"
+        )
+    counters: Dict[str, int] = {}
+    for result in ordered:
+        for name, value in result.counters.items():
+            if name in _MAX_COUNTERS:
+                counters[name] = max(counters.get(name, 0), value)
+            else:
+                counters[name] = counters.get(name, 0) + value
+    violations = tuple(
+        f"shard {result.shard}: {violation}"
+        for result in ordered
+        for violation in result.violations
+    )
+    run_fingerprint = _result_fingerprint(
+        {
+            "schema": 1,
+            "seed": spec.seed,
+            "num_shards": spec.num_shards,
+            "shard_fingerprints": [result.fingerprint for result in ordered],
+        }
+    )
+    return ParallelRunReport(
+        spec=spec,
+        workers=workers,
+        shards=tuple(ordered),
+        events=sum(result.events for result in ordered),
+        messages=sum(result.messages for result in ordered),
+        committed=sum(result.committed for result in ordered),
+        applied=sum(result.applied for result in ordered),
+        consistent=all(result.consistent for result in ordered),
+        counters=counters,
+        violations=violations,
+        wall_seconds=wall_seconds,
+        run_fingerprint=run_fingerprint,
+    )
+
+
+def run_parallel_service(
+    spec: ParallelServiceSpec, workers: int = 0
+) -> ParallelRunReport:
+    """Run every shard of *spec* and merge deterministically.
+
+    ``workers=0`` (or 1) runs the shards inline in this process, in shard
+    order; ``workers=N`` fans them out over ``N`` worker processes.  Both
+    paths execute the identical :func:`run_shard` payloads and fold results
+    in shard order, so the report's ``run_fingerprint`` — and every
+    deterministic field — is byte-identical across worker counts.
+    """
+    payloads = [
+        {"spec": spec.to_dict(), "shard": shard}
+        for shard in range(spec.num_shards)
+    ]
+    start = time.perf_counter()
+    raw = run_tasks(_run_shard_payload, payloads, workers=workers)
+    wall = time.perf_counter() - start
+    results = [ShardResult.from_dict(data) for data in raw]
+    return merge_shard_results(spec, results, workers=workers, wall_seconds=wall)

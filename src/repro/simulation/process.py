@@ -54,6 +54,11 @@ class SimProcessShell(Environment):
     ) -> None:
         self._pid = pid
         self.algorithm = algorithm
+        # Cached bound handlers of the current incarnation's algorithm: one
+        # attribute read per delivery/timer instead of two (refreshed by
+        # :meth:`recover` when the algorithm object is swapped).
+        self._on_message = algorithm.on_message
+        self._on_timer = algorithm.on_timer
         self._scheduler = scheduler
         self._network = network
         self._process_ids = tuple(process_ids)
@@ -162,6 +167,8 @@ class SimProcessShell(Environment):
         self.crashed = False
         self.crash_time = None
         self.algorithm = algorithm
+        self._on_message = algorithm.on_message
+        self._on_timer = algorithm.on_timer
         self.started = True
         self.log("process_recovered", incarnation=self.recoveries)
         algorithm.on_start(self)
@@ -237,7 +244,7 @@ class SimProcessShell(Environment):
         if self.crashed:
             return
         self.messages_received += 1
-        self.algorithm.on_message(self, sender, message)
+        self._on_message(self, sender, message)
 
     # ------------------------------------------------------------------ timers --
     def set_timer(self, delay: float, name: str, payload: Any = None) -> TimerHandle:
@@ -272,7 +279,7 @@ class SimProcessShell(Environment):
         if self.recoveries and getattr(handle, _SIM_INCARNATION_ATTR, 0) != self.recoveries:
             # Armed by a previous incarnation; the recovery reset the algorithm.
             return
-        self.algorithm.on_timer(self, handle)
+        self._on_timer(self, handle)
 
     # ------------------------------------------------------------------ tracing --
     def log(self, kind: str, **details: Any) -> None:

@@ -13,6 +13,7 @@ closure per event.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Optional
 
 from repro.simulation.events import NO_ARG, Event, EventCallback, EventQueue
@@ -26,6 +27,12 @@ class EventScheduler:
         self._queue = EventQueue()
         self._now = 0.0
         self._executed = 0
+        #: Hot-path alias of the queue's ``push``: schedules ``callback(arg)``
+        #: at an absolute time **without** the in-the-past validation of
+        #: :meth:`schedule_at`.  Reserved for callers whose times are
+        #: ``now + delay`` with ``delay >= 0`` by construction — the network's
+        #: message dispatch is the one user.
+        self.push_event = self._queue.push
 
     # ------------------------------------------------------------------ clock --
     @property
@@ -105,27 +112,101 @@ class EventScheduler:
         """
         if time < self._now:
             raise ValueError(f"cannot run until {time}, clock already at {self._now}")
-        # Tight loop: one heap inspection per event, locals bound outside the loop.
-        pop = self._queue.pop_at_or_before
+        # Tight loop, operating directly on the queue's heap (scheduler and
+        # queue are one subsystem; this loop is the hottest code in the
+        # simulator).  Two execution paths:
+        #
+        # * **fast path** — the next live event's timestamp is unique (the
+        #   common case under continuous delay distributions): pop and execute
+        #   it with no per-event method call and no batch machinery;
+        # * **timestamp run** — the following heap entry shares the timestamp
+        #   (timer ticks, synchronized polls): the whole run is drained first
+        #   and applied back to back.  Cancellations *by an earlier event of
+        #   the same run* are honoured via the per-event ``cancelled``
+        #   re-check (``EventQueue.cancel`` flags drained events too), and a
+        #   raising callback requeues the unexecuted tail so the pending set
+        #   is exactly what per-event popping would have left.
+        #
+        # Execution order is identical on both paths: events fire in
+        # ``(time, seq)`` order, and events scheduled *at* the draining
+        # timestamp by a batch callback carry higher sequence numbers, so the
+        # next loop iteration picks them up in order.
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
         no_arg = NO_ARG
         executed = 0
+        batch: list = []
         while True:
-            event = pop(time)
-            if event is None:
+            while heap:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    heappop(heap)
+                    event._in_queue = False
+                    continue
                 break
-            if event.time > self._now:
-                self._now = event.time
-            self._executed += 1
-            if event.arg is no_arg:
-                event.callback()
             else:
-                event.callback(event.arg)
-            executed += 1
-            if max_events is not None and executed > max_events:
-                raise RuntimeError(
-                    f"run_until({time}) exceeded max_events={max_events}; "
-                    "suspected event loop"
-                )
+                break
+            run_time = entry[0]
+            if run_time > time:
+                break
+            heappop(heap)
+            event._in_queue = False
+            queue._live -= 1
+            if run_time > self._now:
+                self._now = run_time
+            if not heap or heap[0][0] != run_time:
+                # Fast path: a unique timestamp, execute in place.
+                self._executed += 1
+                if event.arg is no_arg:
+                    event.callback()
+                else:
+                    event.callback(event.arg)
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise RuntimeError(
+                        f"run_until({time}) exceeded max_events={max_events}; "
+                        "suspected event loop"
+                    )
+                continue
+            # Timestamp run: drain every live event sharing run_time, then
+            # apply the batch back to back.
+            batch.append(event)
+            while heap:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    heappop(heap)
+                    event._in_queue = False
+                    continue
+                if entry[0] != run_time:
+                    break
+                heappop(heap)
+                event._in_queue = False
+                queue._live -= 1
+                batch.append(event)
+            index = 0
+            try:
+                for event in batch:
+                    index += 1
+                    if event.cancelled:
+                        continue
+                    self._executed += 1
+                    if event.arg is no_arg:
+                        event.callback()
+                    else:
+                        event.callback(event.arg)
+                    executed += 1
+                    if max_events is not None and executed > max_events:
+                        raise RuntimeError(
+                            f"run_until({time}) exceeded max_events="
+                            f"{max_events}; suspected event loop"
+                        )
+            except BaseException:
+                queue.requeue_run(batch[index:])
+                raise
+            batch.clear()
         self._now = time
         return executed
 

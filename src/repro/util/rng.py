@@ -47,6 +47,18 @@ class RandomSource:
         self.label = label
         effective = self.seed if label is None else derive_seed(self.seed, label)
         self._rng = random.Random(effective)
+        # Hot-path bind-through: the numeric draw methods are rebound per
+        # instance to the underlying random.Random's bound methods, removing
+        # one Python call frame per draw (message delays and workload sampling
+        # draw once per simulated event).  Semantics are identical — the class
+        # methods below remain as documentation and as the fallback for
+        # anything accessing them on the class.
+        self.random = self._rng.random
+        self.uniform = self._rng.uniform
+        self.randint = self._rng.randint
+        self.expovariate = self._rng.expovariate
+        self.paretovariate = self._rng.paretovariate
+        self.gauss = self._rng.gauss
 
     def child(self, *labels: object) -> "RandomSource":
         """Return an independent child source labelled by *labels*."""

@@ -1,0 +1,70 @@
+"""Pinned-fingerprint guard for the benchmark workloads.
+
+``tests/integration/test_determinism.py`` catches *within-run* nondeterminism
+by running the same seed twice in one process; this test catches the other
+failure mode — a refactor that deterministically changes what a seeded
+execution computes.  The quick-shape fingerprints of every sequential
+``bench_perf`` workload are pinned here as constants: any change to the
+substrate that alters an execution (event order, RNG draw order, delay
+arithmetic, digest content) flips one of these digests and fails loudly.
+
+When a PR *intentionally* changes executions (new protocol feature, changed
+default), re-pin the constants together with the refreshed
+``benchmarks/perf_baseline.json`` — never in a perf-only PR, whose whole
+contract is that these digests stay byte-identical.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_perf.py"
+_spec = importlib.util.spec_from_file_location("bench_perf", _BENCH_PATH)
+bench_perf = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_perf", bench_perf)
+_spec.loader.exec_module(bench_perf)
+
+#: Quick-shape fingerprints of the sequential workloads (see module docstring
+#: for when these may be re-pinned).
+PINNED_QUICK_FINGERPRINTS = {
+    "omega_broadcast": "5b36c19e15a2d846c7993c1ab1ae0ea3c4168de467ca0aeb79e9c3d3da0685cb",
+    "sharded_service": "42a2ccb8bb5276211502618783b4f4f5f6bc18f33f50484e3c586ed94d797f32",
+    "sharded_service_storage": "62a29253e76abd677d118119d8343a024fe0d2596947f8c46f60f94bedd50ea5",
+    "sharded_service_compaction": "3991ea5c639d4c4e646fff0e392fa3ec8454ea4694f9737ed958ae765a4b6a8b",
+}
+
+
+@pytest.mark.parametrize(
+    "workload, runner",
+    [
+        ("omega_broadcast", lambda: bench_perf.bench_omega_broadcast(quick=True)),
+        ("sharded_service", lambda: bench_perf.bench_sharded_service(quick=True)),
+        (
+            "sharded_service_storage",
+            lambda: bench_perf.bench_sharded_service_storage(quick=True),
+        ),
+        (
+            "sharded_service_compaction",
+            lambda: bench_perf.bench_sharded_service_compaction(quick=True),
+        ),
+    ],
+)
+def test_sequential_workload_matches_pinned_fingerprint(workload, runner):
+    assert runner()["fingerprint"] == PINNED_QUICK_FINGERPRINTS[workload]
+
+
+def test_noop_fault_plan_path_is_byte_identical():
+    """The fault-plan engine with an empty plan must not change executions."""
+    result = bench_perf.bench_omega_broadcast(quick=True, noop_fault_plan=True)
+    assert result["fingerprint"] == PINNED_QUICK_FINGERPRINTS["omega_broadcast"]
+
+
+def test_parallel_workload_quick_shape_is_reproducible():
+    """The parallel workload's quick shape: stable fingerprint, honest stats."""
+    first = bench_perf.bench_sharded_service_parallel(quick=True)
+    second = bench_perf.bench_sharded_service_parallel(quick=True)
+    assert first["fingerprint"] == second["fingerprint"]
+    assert first["shards"] == len(first["shard_stats"])
+    assert first["events"] == sum(s["events"] for s in first["shard_stats"])
