@@ -32,6 +32,15 @@ Five workloads are measured:
   the run fans out over a worker pool and the report must carry the **same**
   run fingerprint as the inline path (checked here, exit non-zero on
   divergence).
+* ``sharded_service_read_leases`` — a zipfian 95%-read workload run twice at
+  the same seed: once with every read going through consensus (the baseline)
+  and once through the lease read path (leader leases + read-index + adaptive
+  batching).  Reads under a valid lease are served locally by the leader, so
+  their latency is bound by the client poll interval instead of the consensus
+  round trips — the report carries both runs' committed-op counts and their
+  ratio as ``read_speedup``.  ``main`` exits non-zero when the speedup falls
+  below :data:`LEASE_READ_SPEEDUP_FLOOR`, so the CI perf-smoke run enforces
+  the read path's order-of-magnitude contract.
 
 Wall times are best-of-``--repeat`` (default 3): each workload is run that
 many times and the fastest wall time is reported, which tames scheduler noise
@@ -88,6 +97,10 @@ from repro.util.rng import RandomSource
 BASELINE_PATH = _REPO_ROOT / "benchmarks" / "perf_baseline.json"
 DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_PERF.json"
 DEFAULT_PROFILE_OUTPUT = _REPO_ROOT / "BENCH_PROFILE.txt"
+
+#: Minimum committed-ops ratio (leases on / leases off) the read-lease
+#: workload must sustain; ``main`` exits non-zero below it.
+LEASE_READ_SPEEDUP_FLOOR = 5.0
 
 
 def _fingerprint(payload: object) -> str:
@@ -464,6 +477,119 @@ def bench_sharded_service_parallel(quick: bool, workers: int = 0) -> dict:
     return result
 
 
+def bench_sharded_service_read_leases(quick: bool, noop_fault_plan: bool = False) -> dict:
+    """Read-heavy workload, consensus reads vs the lease read path, same seed.
+
+    The pair of runs share everything — seed, shards, clients, zipfian key
+    distribution at 95% reads, adaptive batching, client poll interval — and
+    differ only in ``leases``.  The baseline drives every ``get`` through the
+    replicated log (a full consensus round plus poll); the lease run serves
+    reads locally on the leaseholder behind the read-authority barrier, so
+    read latency collapses to the poll interval while writes keep paying
+    consensus.  The poll interval is deliberately finer than the other
+    workloads' (0.25 vs the default 1.0): lease reads are poll-bound and
+    consensus reads are consensus-bound, so a coarse poll would hide the
+    latency gap the read path exists to remove.
+
+    ``read_speedup`` is committed ops (leases on) / committed ops (leases
+    off); the fingerprint covers both runs' digests and counts, so the
+    comparison itself is pinned byte-for-byte across repeats and PRs.
+    """
+    num_shards = 2 if quick else 4
+    num_clients = 12 if quick else 48
+    horizon = 120.0 if quick else 300.0
+    seed = 1300 + num_shards
+    poll_interval = 0.25
+    read_fraction = 0.95
+
+    def run(leases: bool) -> dict:
+        service = build_sharded_service(
+            num_shards=num_shards,
+            n=3,
+            t=1,
+            seed=seed,
+            batch_size="adaptive",
+            leases=leases,
+            fault_plan_factory=(
+                (lambda shard: FaultPlan.none()) if noop_fault_plan else None
+            ),
+        )
+        clients = start_clients(
+            service,
+            num_clients=num_clients,
+            workload_factory=lambda i: zipfian_workload(
+                num_keys=64, read_fraction=read_fraction
+            ),
+            poll_interval=poll_interval,
+        )
+        start = time.perf_counter()
+        service.run_until(horizon)
+        wall = time.perf_counter() - start
+        return {
+            "service": service,
+            "wall": wall,
+            "committed": sum(client.stats.completed for client in clients),
+        }
+
+    baseline = run(leases=False)
+    leased = run(leases=True)
+    service = leased["service"]
+    wall = leased["wall"]
+    events = service.scheduler.executed
+    messages = sum(system.stats.total_sent for system in service.systems)
+    committed = leased["committed"]
+    read_speedup = (
+        round(committed / baseline["committed"], 2) if baseline["committed"] else 0.0
+    )
+    perf = service.perf_counters()
+    lease_counters = {
+        key: perf[key]
+        for key in (
+            "lease_renewals",
+            "lease_reads_served",
+            "lease_read_fallbacks",
+            "read_index_polls",
+        )
+    }
+    fingerprint = _fingerprint(
+        {
+            "digests": {
+                shard: service.state_digests(shard)
+                for shard in range(service.num_shards)
+            },
+            "baseline_digests": {
+                shard: baseline["service"].state_digests(shard)
+                for shard in range(service.num_shards)
+            },
+            "committed": committed,
+            "baseline_committed": baseline["committed"],
+            "lease_counters": lease_counters,
+            "consistent": service.is_consistent(),
+            "baseline_consistent": baseline["service"].is_consistent(),
+        }
+    )
+    return {
+        "shards": num_shards,
+        "clients": num_clients,
+        "horizon": horizon,
+        "seed": seed,
+        "read_fraction": read_fraction,
+        "poll_interval": poll_interval,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall else 0,
+        "messages": messages,
+        "messages_per_sec": round(messages / wall) if wall else 0,
+        "committed_commands": committed,
+        "baseline_committed_commands": baseline["committed"],
+        "read_speedup": read_speedup,
+        "min_read_speedup": LEASE_READ_SPEEDUP_FLOOR,
+        **lease_counters,
+        "consistent": service.is_consistent() and baseline["service"].is_consistent(),
+        "fingerprint": fingerprint,
+    }
+
+
 def run_benchmarks(
     quick: bool,
     noop_fault_plan: bool = False,
@@ -486,6 +612,9 @@ def run_benchmarks(
         "sharded_service_parallel": _best_of(
             lambda: bench_sharded_service_parallel(quick, parallel_workers), repeat
         ),
+        "sharded_service_read_leases": _best_of(
+            lambda: bench_sharded_service_read_leases(quick, noop_fault_plan), repeat
+        ),
     }
 
 
@@ -505,6 +634,7 @@ def profile_benchmarks(quick: bool, output: Path) -> None:
         ("sharded_service_storage", lambda: bench_sharded_service_storage(quick)),
         ("sharded_service_compaction", lambda: bench_sharded_service_compaction(quick)),
         ("sharded_service_parallel", lambda: bench_sharded_service_parallel(quick)),
+        ("sharded_service_read_leases", lambda: bench_sharded_service_read_leases(quick)),
     ]
     sections = []
     for name, runner in workloads:
@@ -645,6 +775,24 @@ def main(argv=None) -> int:
             "PARALLEL DIVERGENCE: sharded_service_parallel with "
             f"{parallel['workers']} workers produced a different run "
             "fingerprint than the inline path",
+            file=sys.stderr,
+        )
+        return 1
+
+    lease_reads = results["sharded_service_read_leases"]
+    if not lease_reads["consistent"]:
+        print(
+            "LEASE READ VIOLATION: sharded_service_read_leases ended with "
+            "inconsistent replicas",
+            file=sys.stderr,
+        )
+        return 1
+    if lease_reads["read_speedup"] < LEASE_READ_SPEEDUP_FLOOR:
+        print(
+            f"LEASE READ REGRESSION: read_speedup {lease_reads['read_speedup']}x "
+            f"is below the floor of {LEASE_READ_SPEEDUP_FLOOR}x "
+            f"(committed {lease_reads['committed_commands']} with leases vs "
+            f"{lease_reads['baseline_committed_commands']} without)",
             file=sys.stderr,
         )
         return 1

@@ -1,0 +1,78 @@
+"""Load-adaptive batch sizing for the replicated log's leader.
+
+The fixed ``batch_size`` knob forces one choice for every load level: small
+batches waste consensus instances under bursts, large ones add latency when
+the backlog is one command deep.  :class:`AdaptiveBatchPolicy` replaces the
+constant with a backlog-tracking limit: an exponentially weighted moving
+average of the backlog the leader observes at each proposal opportunity,
+clamped into ``[min_batch, max_batch]``.  Light load degenerates to
+single-command proposals (latency of the unbatched path); offered-load spikes
+grow the limit within one or two drive ticks, amortising the consensus round
+trips over the queue that actually built up.
+
+The policy is deliberately deterministic state (one float), so seeded runs
+stay byte-identical for a given policy configuration, and each replica owns
+its own instance (the EWMA is per-leader observation history, not shared).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import require_positive
+
+
+class AdaptiveBatchPolicy:
+    """EWMA-of-backlog batch limit in ``[min_batch, max_batch]``.
+
+    Parameters
+    ----------
+    min_batch, max_batch:
+        Clamp bounds of the adaptive limit.
+    alpha:
+        EWMA smoothing factor in ``(0, 1]``; higher reacts faster.  The
+        default 0.5 reaches ~94 % of a load step within 4 observations
+        (two drive ticks at the default cadence of one proposal per tick).
+    """
+
+    def __init__(
+        self, min_batch: int = 1, max_batch: int = 32, alpha: float = 0.5
+    ) -> None:
+        require_positive(min_batch, "min_batch")
+        if max_batch < min_batch:
+            raise ValueError(
+                f"max_batch={max_batch} must be >= min_batch={min_batch}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.min_batch = int(min_batch)
+        self.max_batch = int(max_batch)
+        self.alpha = alpha
+        self._ewma = float(min_batch)
+        #: Number of backlog observations folded in (reporting).
+        self.observations = 0
+
+    def observe(self, backlog: int) -> int:
+        """Fold one backlog observation in; return the current batch limit."""
+        self.observations += 1
+        self._ewma += self.alpha * (backlog - self._ewma)
+        return self.limit()
+
+    def limit(self) -> int:
+        """The current batch limit (no observation folded)."""
+        return max(self.min_batch, min(self.max_batch, math.ceil(self._ewma)))
+
+    def spawn(self) -> "AdaptiveBatchPolicy":
+        """A fresh policy with this one's configuration (per-replica state)."""
+        return AdaptiveBatchPolicy(
+            min_batch=self.min_batch, max_batch=self.max_batch, alpha=self.alpha
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdaptiveBatchPolicy(min={self.min_batch}, max={self.max_batch}, "
+            f"alpha={self.alpha}, limit={self.limit()})"
+        )
+
+
+__all__ = ["AdaptiveBatchPolicy"]

@@ -79,6 +79,7 @@ class ConsensusInstance:
         instance: int,
         on_decide: Callable[[int, Any], None],
         store: Optional["StableStore"] = None,
+        on_accept: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         self.pid = pid
         self.n = n
@@ -88,6 +89,9 @@ class ConsensusInstance:
         #: Optional stable store; when set, acceptor state is written through
         #: before any reply revealing it is sent (write-ahead durability).
         self._store = store
+        #: Optional ``(instance, ballot)`` hook fired when this acceptor
+        #: accepts a value — the lease layer's foreign-accept bookkeeping.
+        self._on_accept = on_accept
 
     # ------------------------------------------------------------------ queries --
     @property
@@ -213,6 +217,8 @@ class ConsensusInstance:
                 # Durable before the Accepted leaves: an accepted value a
                 # quorum may rely on must survive this process's restarts.
                 self._persist_acceptor()
+            if self._on_accept is not None:
+                self._on_accept(state.instance, message.ballot)
             env.send(
                 sender,
                 Accepted(

@@ -139,6 +139,85 @@ class CatchUpReply(Message):
 
 
 @dataclasses.dataclass(frozen=True)
+class LeaseRequest(Message):
+    """The trusted leader asks every replica to (re)grant its read lease.
+
+    Broadcast on each drive tick by the process that currently trusts itself
+    as leader.  ``round`` identifies one renewal attempt; ``sent_at`` is the
+    leader's virtual send time — the lease term the leader may assume once a
+    quorum grants this round is ``sent_at + duration`` (send time is never
+    later than any granter's receipt time under non-negative delays, so the
+    leader's view of the term is the *conservative* one).
+    """
+
+    round: int
+    sent_at: float
+
+    @property
+    def tag(self) -> str:
+        return "LEASE_REQ"
+
+
+@dataclasses.dataclass(frozen=True)
+class LeaseGrant(Message):
+    """A replica grants (or renews) the requester's read lease.
+
+    Sent only when the granter holds no live grant to a *different* process;
+    the grant expires ``duration`` after the granter's receipt time.  While a
+    grant is live the granter drops ``Prepare``/``AcceptRequest`` from other
+    proposers, so a quorum of grants excludes any foreign commit until the
+    grants — and therefore the leader's earlier-expiring lease — have run out.
+
+    ``barrier_hint`` carries the granter's read-authority barrier ingredient:
+    the highest log position it has either seen decided or accepted from a
+    *foreign* proposer.  The leader may only serve reads once its applied
+    frontier has passed the maximum hint over a granting quorum — this is what
+    stops a freshly (re)leased leader from serving a state that misses commits
+    decided before its lease began.
+    """
+
+    round: int
+    barrier_hint: int
+
+    @property
+    def tag(self) -> str:
+        return "LEASE_GRANT"
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadIndexRequest(Message):
+    """A follower asks the leader to certify its commit frontier for one read.
+
+    ``read_id`` is an opaque identifier of the pending read at the follower.
+    A leader answers only while it holds read authority (valid lease + frontier
+    past the barrier), so the index it returns upper-bounds every write that
+    completed before the request was answered.
+    """
+
+    read_id: int
+
+    @property
+    def tag(self) -> str:
+        return "READ_INDEX_REQ"
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadIndexReply(Message):
+    """The leader's frontier certification answering a :class:`ReadIndexRequest`.
+
+    The follower serves the pending read from its local state machine once its
+    own applied frontier reaches ``index``.
+    """
+
+    read_id: int
+    index: int
+
+    @property
+    def tag(self) -> str:
+        return "READ_INDEX_REP"
+
+
+@dataclasses.dataclass(frozen=True)
 class SnapshotRequest(Message):
     """A receiver mid-transfer asks the sender for one more snapshot chunk.
 

@@ -120,14 +120,22 @@ path behaves (and fingerprints) exactly as before.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
+from repro.consensus.batching import AdaptiveBatchPolicy
 from repro.consensus.commands import Batch, flatten_value, payload_intact
 from repro.consensus.instance import ConsensusInstance
+from repro.consensus.leases import NO_BARRIER, LeaseManager
 from repro.consensus.messages import (
+    AcceptRequest,
     CatchUpReply,
     CatchUpRequest,
     Forward,
+    LeaseGrant,
+    LeaseRequest,
+    Prepare,
+    ReadIndexReply,
+    ReadIndexRequest,
     SnapshotReply,
     SnapshotRequest,
 )
@@ -257,10 +265,25 @@ class ReplicatedLog(Process):
     batch_size:
         Maximum number of distinct commands the leader packs into one consensus
         value.  1 (the default) proposes bare values exactly like the seed
-        implementation; larger values propose :class:`Batch` envelopes.
+        implementation; larger values propose :class:`Batch` envelopes.  An
+        :class:`~repro.consensus.batching.AdaptiveBatchPolicy` instance makes
+        the limit track offered load instead (EWMA of the backlog observed at
+        each proposal opportunity); plain ints keep the fixed-knob behaviour
+        byte-identical.
     on_deliver:
         Optional callback ``(position, value)`` invoked, in log order, for every
         non-noop value as the contiguous decided prefix extends.
+    leases:
+        Optional :class:`~repro.consensus.leases.LeaseManager` enabling the
+        lease-based read path: lease requests/grants piggyback on the drive
+        tick, grant holders gate foreign proposer traffic, and the read-index
+        hooks below become live.  ``None`` (the default) leaves every code
+        path — and every fingerprint — exactly as before.
+    on_read_index:
+        Optional callback ``(read_id, index)`` invoked when the leader
+        certifies a commit frontier for a pending follower read (either a
+        :class:`~repro.consensus.messages.ReadIndexReply` arrived, or this
+        process is itself the leader with read authority).
     """
 
     variant_name = "replicated-log"
@@ -273,8 +296,10 @@ class ReplicatedLog(Process):
         oracle: LeaderOracle,
         drive_period: float = 2.0,
         retry_period: float = 10.0,
-        batch_size: int = 1,
+        batch_size: Union[int, AdaptiveBatchPolicy] = 1,
         on_deliver: Optional[Callable[[int, Any], None]] = None,
+        leases: Optional[LeaseManager] = None,
+        on_read_index: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         validate_process_count(n, t)
         if t >= n / 2:
@@ -284,8 +309,13 @@ class ReplicatedLog(Process):
             )
         require_positive(drive_period, "drive_period")
         require_positive(retry_period, "retry_period")
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if isinstance(batch_size, AdaptiveBatchPolicy):
+            self._batch_policy: Optional[AdaptiveBatchPolicy] = batch_size
+            batch_size = batch_size.max_batch
+        else:
+            self._batch_policy = None
+            if batch_size < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.pid = pid
         self.n = n
         self.t = t
@@ -295,6 +325,22 @@ class ReplicatedLog(Process):
         self.retry_period = retry_period
         self.batch_size = batch_size
         self.on_deliver = on_deliver
+        #: Lease-based read path (None = disabled, every path byte-identical).
+        self.leases = leases
+        self.on_read_index = on_read_index
+        #: Pending follower reads awaiting a leader frontier certification
+        #: (read ids queued by the service replica, flushed on drive ticks).
+        self._read_index_queue: List[int] = []
+        #: ReadIndexRequest polls sent to the trusted leader.
+        self.read_index_polls = 0
+        #: Optional per-drive-tick hook ``(now)`` — the service replica uses
+        #: it to expire pending lease reads into the consensus fallback.
+        #: Invoked only when leases are enabled.
+        self.on_drive: Optional[Callable[[float], None]] = None
+        #: Undecided positions with an accepted value, by proposer pid of the
+        #: accepting ballot — the foreign-accepted ingredient of lease barrier
+        #: hints.  Maintained only when leases are on (instance callback).
+        self._accepted_proposer: Dict[int, int] = {}
 
         self._instances: Dict[int, ConsensusInstance] = {}
         self._attempts: Dict[int, int] = {}
@@ -515,9 +561,12 @@ class ReplicatedLog(Process):
             "compacted_drops": self.compacted_drops,
             "catchup_polls_sent": self.catchup_polls_sent,
             "catchup_replies_sent": self.catchup_replies_sent,
+            "read_index_polls": self.read_index_polls,
         }
         if self.snapshots is not None:
             counters.update(self.snapshots.counters())
+        if self.leases is not None:
+            counters.update(self.leases.counters())
         return counters
 
     # ------------------------------------------------------------------ lifecycle --
@@ -563,9 +612,49 @@ class ReplicatedLog(Process):
             if self.snapshots is not None:
                 self.snapshots.on_request(env, sender, message)
             return
+        if isinstance(message, LeaseRequest):
+            if self.leases is not None and self.leases.try_grant(env.now, sender):
+                env.send(
+                    sender,
+                    LeaseGrant(
+                        round=message.round,
+                        barrier_hint=self._lease_barrier_hint(sender),
+                    ),
+                )
+            return
+        if isinstance(message, LeaseGrant):
+            if self.leases is not None:
+                self.leases.on_grant(
+                    env.now, sender, message.round, message.barrier_hint
+                )
+            return
+        if isinstance(message, ReadIndexRequest):
+            if self.leases is not None and self.leases.read_authority(
+                env.now, self._frontier
+            ):
+                env.send(
+                    sender,
+                    ReadIndexReply(read_id=message.read_id, index=self._frontier),
+                )
+            return  # without authority stay silent; the read falls back
+        if isinstance(message, ReadIndexReply):
+            if self.on_read_index is not None:
+                self.on_read_index(message.read_id, message.index)
+            return
         instance_id = getattr(message, "instance", None)
         if instance_id is None:
             raise TypeError(f"replicated log received unexpected {message!r}")
+        if self.leases is not None and isinstance(
+            message, (Prepare, AcceptRequest)
+        ):
+            # Lease gating: while our grant to some process is live, proposer
+            # traffic from anyone else is dropped (counted).  This is what
+            # makes a grant quorum exclude foreign commits until the grants —
+            # and with them the holder's earlier-expiring lease — run out.
+            # Decide/catch-up/snapshot messages are never gated: learning an
+            # already-committed value cannot create staleness.
+            if self.leases.gates(env.now, sender):
+                return
         if instance_id < self._floor:
             # The instance was truncated by compaction: its position is decided
             # and snapshotted away.  Stay silent (never answer from a reborn
@@ -587,6 +676,7 @@ class ReplicatedLog(Process):
                 instance=instance_id,
                 on_decide=self._on_decide,
                 store=self._store,
+                on_accept=self._note_accept if self.leases is not None else None,
             )
             self._instances[instance_id] = instance
         return instance
@@ -614,6 +704,7 @@ class ReplicatedLog(Process):
             # admit an already-decided value, so nothing else can match).
             self._pending.discard(command)
             self._forwarded.discard(command)
+        self._accepted_proposer.pop(instance_id, None)
         self._advance_frontier()
         if self.snapshots is not None and not self._rehydrating:
             self.snapshots.maybe_snapshot()
@@ -656,6 +747,7 @@ class ReplicatedLog(Process):
             self._instances.pop(position, None)
             self._attempts.pop(position, None)
             self._last_attempt_time.pop(position, None)
+            self._accepted_proposer.pop(position, None)
             if self._store is not None:
                 self._store.delete(("decided", position))
                 self._store.delete(("acceptor", position))
@@ -687,6 +779,8 @@ class ReplicatedLog(Process):
             del self._attempts[position]
         for position in [p for p in self._last_attempt_time if p < floor]:
             del self._last_attempt_time[position]
+        for position in [p for p in self._accepted_proposer if p < floor]:
+            del self._accepted_proposer[position]
         if self._store is not None and not self._rehydrating:
             for key, _ in self._store.items_with_prefix("decided"):
                 if key[1] < floor:
@@ -717,20 +811,30 @@ class ReplicatedLog(Process):
         return self._frontier
 
     def _candidate_value(self) -> Optional[Any]:
-        """Pick up to ``batch_size`` distinct undecided commands to propose."""
+        """Pick up to the batch limit of distinct undecided commands to propose.
+
+        The limit is the fixed ``batch_size`` knob, or — with an
+        :class:`~repro.consensus.batching.AdaptiveBatchPolicy` — the policy's
+        EWMA-of-backlog limit, fed with the backlog observed right now.
+        """
+        limit = self.batch_size
+        if self._batch_policy is not None:
+            limit = self._batch_policy.observe(
+                len(self._pending) + len(self._forwarded)
+            )
         picked: List[Any] = []
         for source in (self._pending, self._forwarded):
             for value in source:
                 if value in self._decided_index or value in picked:
                     continue
                 picked.append(value)
-                if len(picked) >= self.batch_size:
+                if len(picked) >= limit:
                     break
-            if len(picked) >= self.batch_size:
+            if len(picked) >= limit:
                 break
         if not picked:
             return None
-        if self.batch_size == 1 or len(picked) == 1:
+        if limit == 1 or len(picked) == 1:
             return picked[0]
         return Batch(commands=tuple(picked))
 
@@ -767,8 +871,62 @@ class ReplicatedLog(Process):
             self.catchup_replies_sent += 1
             env.send(sender, CatchUpReply(decisions=tuple(decisions)))
 
+    # ------------------------------------------------------------------ lease path --
+    def request_read_index(self, read_id: int) -> None:
+        """Queue a pending read for leader frontier certification.
+
+        Callable from outside handlers (the service replica queues reads as
+        clients submit them); the next drive tick either serves the queue
+        locally (this process is the leader with read authority) or polls the
+        trusted leader with one :class:`~repro.consensus.messages.
+        ReadIndexRequest` per read.
+        """
+        self._read_index_queue.append(read_id)
+
+    def _note_accept(self, position: int, ballot: int) -> None:
+        """Track the proposer of the accepted value at an undecided position
+        (the foreign-accepted ingredient of lease barrier hints)."""
+        self._accepted_proposer[position] = ballot % self.n
+
+    def _lease_barrier_hint(self, grantee: int) -> int:
+        """This replica's read-authority barrier ingredient for *grantee*:
+        the highest position seen decided (any proposer — an amnesic restarted
+        leader must re-apply even its own pre-crash decisions) or accepted
+        from a *foreign* ballot (a commit may be in flight that the grantee
+        never saw announced).  The grantee's own accepted positions are
+        excluded so its in-flight proposals never stall its own reads."""
+        hint = self._max_decided
+        for position, proposer in self._accepted_proposer.items():
+            if proposer != grantee and position > hint:
+                hint = position
+        return hint
+
+    def _drive_leases(self, env: Environment, leader: int) -> None:
+        if leader == self.pid:
+            round_id = self.leases.start_round(
+                env.now, self._lease_barrier_hint(self.pid)
+            )
+            env.broadcast(LeaseRequest(round=round_id, sent_at=env.now))
+        if not self._read_index_queue:
+            return
+        if leader == self.pid:
+            if self.leases.read_authority(env.now, self._frontier):
+                queue, self._read_index_queue = self._read_index_queue, []
+                for read_id in queue:
+                    if self.on_read_index is not None:
+                        self.on_read_index(read_id, self._frontier)
+            return  # no authority yet: keep the queue for the next tick
+        self.read_index_polls += len(self._read_index_queue)
+        for read_id in self._read_index_queue:
+            env.send(leader, ReadIndexRequest(read_id=read_id))
+        self._read_index_queue.clear()
+
     def _drive(self, env: Environment) -> None:
         leader = self.oracle.leader()
+        if self.leases is not None:
+            self._drive_leases(env, leader)
+            if self.on_drive is not None:
+                self.on_drive(env.now)
         if leader != self.pid:
             # Not the leader: hand our pending commands to whoever is.
             for value in self._pending:

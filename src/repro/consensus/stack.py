@@ -10,8 +10,10 @@ replicated log), with the log querying the co-located oracle for the current lea
 
 from __future__ import annotations
 
-from typing import Optional, Type
+from typing import Callable, Optional, Type, Union
 
+from repro.consensus.batching import AdaptiveBatchPolicy
+from repro.consensus.leases import LeaseManager
 from repro.consensus.replicated_log import ReplicatedLog
 from repro.core.composition import CompositeProcess
 from repro.core.config import OmegaConfig
@@ -38,7 +40,9 @@ class OmegaConsensusStack(CompositeProcess, LeaderOracle):
         omega_config: Optional[OmegaConfig] = None,
         drive_period: float = 2.0,
         retry_period: float = 10.0,
-        batch_size: int = 1,
+        batch_size: Union[int, AdaptiveBatchPolicy] = 1,
+        leases: Optional[LeaseManager] = None,
+        on_read_index: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         omega = omega_cls(pid=pid, n=n, t=t, config=omega_config)
         log = ReplicatedLog(
@@ -49,6 +53,8 @@ class OmegaConsensusStack(CompositeProcess, LeaderOracle):
             drive_period=drive_period,
             retry_period=retry_period,
             batch_size=batch_size,
+            leases=leases,
+            on_read_index=on_read_index,
         )
         super().__init__({OMEGA_CHANNEL: omega, LOG_CHANNEL: log})
         self.pid = pid

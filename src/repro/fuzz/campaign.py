@@ -171,6 +171,11 @@ class CampaignRunner:
             t=config.spec.t,
             horizon=config.spec.horizon,
             require_quorum_memory=admission,
+            # Lease-enabled campaigns arm the lease-expiry-edge mutator; with
+            # leases off the mutator pool is identical to the seed engine's.
+            lease_duration=(
+                config.spec.lease_duration if config.spec.leases else None
+            ),
         )
         self._admission = admission
         self._findings: List[Finding] = []

@@ -19,7 +19,14 @@ import json
 import os
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.simulation.faults import Crash, FaultPlan, LinkFault, Recover
+from repro.simulation.faults import (
+    Crash,
+    FaultPlan,
+    LinkFault,
+    PartitionHeal,
+    PartitionStart,
+    Recover,
+)
 
 #: Wire-format version of corpus entry files.
 CORPUS_VERSION = 1
@@ -171,6 +178,29 @@ def amnesia_witness_plan() -> FaultPlan:
     )
 
 
+def lease_edge_plan(
+    n: int, lease_duration: float = 6.0, leader_change_at: float = 20.0
+) -> FaultPlan:
+    """Partition the old leader across its lease-expiry edge.
+
+    The lease read path's sharpest schedule: isolate the process most likely
+    to be the established leader (pid 0 under constant delays) shortly before
+    one of its lease terms would expire, and keep it isolated well past the
+    expiry — long enough for the majority side to elect and lease a successor.
+    A stale leader that kept serving reads past its term (the
+    ``lease_validation=False`` hazard) is caught by the stale-read probe on
+    exactly this shape; with validation on, the schedule must stay clean.
+    """
+    start = leader_change_at + 0.5 * lease_duration
+    heal = leader_change_at + 3.0 * lease_duration
+    return FaultPlan(
+        [
+            PartitionStart(time=start, groups=((0,),)),
+            PartitionHeal(time=heal),
+        ]
+    )
+
+
 def benign_seed_plans(n: int, t: int, horizon: float = 100.0) -> List[Tuple[str, FaultPlan]]:
     """Assumption-preserving starter seeds exercising each fault family."""
     from repro.simulation.faults import (
@@ -241,12 +271,29 @@ def seed_corpus(
     t: int,
     horizon: float = 100.0,
     include_amnesia_witness: bool = True,
+    include_lease_edge: bool = False,
+    lease_duration: float = 6.0,
 ) -> Corpus:
     """The standard starting corpus: benign family seeds plus (for storage-off
-    violation hunts) the quorum-amnesia witness."""
+    violation hunts) the quorum-amnesia witness and (for lease-enabled
+    campaigns, ``include_lease_edge=True``) the lease-expiry-edge partition."""
     corpus = Corpus()
     for name, plan in benign_seed_plans(n, t, horizon=horizon):
         corpus.add(CorpusEntry(name=name, plan_data=plan.to_dict()))
+    if include_lease_edge:
+        edge = lease_edge_plan(n, lease_duration=lease_duration)
+        edge.validate(n, t)
+        corpus.add(
+            CorpusEntry(
+                name="lease-edge-partition",
+                plan_data=edge.to_dict(),
+                notes=(
+                    "partitioned old leader still inside its lease term: the "
+                    "isolation straddles a lease expiry so the majority side "
+                    "re-elects while the stale leader's term runs out"
+                ),
+            )
+        )
     if include_amnesia_witness and n == 3 and t == 1:
         witness = amnesia_witness_plan()
         witness.validate(n, t)
@@ -269,6 +316,7 @@ __all__ = [
     "CorpusEntry",
     "amnesia_witness_plan",
     "benign_seed_plans",
+    "lease_edge_plan",
     "plan_fingerprint",
     "seed_corpus",
 ]

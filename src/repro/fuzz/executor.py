@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.assumptions.base import Scenario
 from repro.assumptions.scenarios import IntermittentRotatingStarScenario
+from repro.consensus.commands import Command, flatten_value
 from repro.core.config import OmegaConfig
 from repro.fuzz.linearizability import check_history
 from repro.service.clients import ClosedLoopClient, start_clients, uniform_workload
@@ -99,6 +100,15 @@ class ScenarioSpec:
     compaction: Optional[int] = None
     adversary: Optional[str] = None
     adversary_period: float = 15.0
+    #: Lease-based read path (leader leases + read-index; see
+    #: :mod:`repro.consensus.leases`).  Off by default: every committed
+    #: leases-off fingerprint stays byte-identical.
+    leases: bool = False
+    lease_duration: float = 6.0
+    #: **Unsafe when False** — serve-time expiry validation off; exists so the
+    #: stale-read regression witness can pin the schedule where the virtual
+    #: clock check is load-bearing.
+    lease_validation: bool = True
 
     def __post_init__(self) -> None:
         if self.scenario not in ("constant", "star"):
@@ -130,7 +140,7 @@ class ScenarioSpec:
 class Violation:
     """One invariant breach observed by an execution's probes."""
 
-    kind: str  # "agreement" | "exactly-once" | "divergence" | "durability" | "linearizability"
+    kind: str  # "agreement" | "exactly-once" | "divergence" | "durability" | "stale-read" | "linearizability"
     shard: int
     detail: str
 
@@ -237,6 +247,9 @@ def build_service(spec: ScenarioSpec, plan: FaultPlan) -> ShardedService:
         seed=spec.seed,
         stable_storage=spec.stable_storage,
         compaction=spec.compaction,
+        leases=spec.leases,
+        lease_duration=spec.lease_duration,
+        lease_validation=spec.lease_validation,
     )
 
 
@@ -359,10 +372,20 @@ def divergence_violations(service: ShardedService) -> List[Violation]:
 def durability_violations(
     service: ShardedService, clients: List[ClosedLoopClient]
 ) -> List[Violation]:
-    """Every acknowledged operation is still applied somewhere correct."""
+    """Every acknowledged operation is still applied somewhere correct.
+
+    Lease-served reads are exempt when the lease path is on: they are answered
+    from a replica's applied state without ever entering the log, so "applied
+    at a correct replica" is not their durability contract — their correctness
+    is checked by the linearizability and stale-read probes instead.  (A get
+    that *fell back* to consensus is also exempt; that only widens what the
+    probe ignores, never what it accepts.)
+    """
     violations: List[Violation] = []
     for client in clients:
         for record in client.history:
+            if service.leases and record.op == "get":
+                continue
             shard = service.shard_for(record.key)
             if not any(
                 replica.command_applied(record.client_id, record.seq)
@@ -395,6 +418,67 @@ def linearizability_violations(clients: List[ClosedLoopClient]) -> List[Violatio
     ]
 
 
+def stale_read_violations(
+    service: ShardedService, clients: List[ClosedLoopClient]
+) -> List[Violation]:
+    """No lease-served read misses a write that completed before it started.
+
+    The lease path's end-to-end staleness check, independent of the Wing–Gong
+    probe: every lease-served read was audited with the log index certified
+    for it (the serving replica had applied positions ``< index``).  For each
+    audited read, any write on the same key whose client observed completion
+    at or before the read's invocation must sit at a decided position below
+    that index — a position at or above it means the read was served from a
+    state provably missing an already-acknowledged write.
+
+    Write positions are recovered from a correct replica's resident decided
+    log; writes whose position was compacted away are skipped (under-coverage,
+    never a false positive).
+    """
+    if not service.leases:
+        return []
+    violations: List[Violation] = []
+    for shard in range(service.num_shards):
+        audits = service.read_audits[shard]
+        if not audits:
+            continue
+        replicas = service.correct_replicas(shard)
+        if not replicas:
+            continue
+        position_of: Dict[Tuple[str, int], int] = {}
+        for position, value in replicas[0].log.decided_log().items():
+            for command in flatten_value(value):
+                if isinstance(command, Command):
+                    position_of[(command.client_id, command.seq)] = position
+        # key -> [(completion observed at, decided position)] of write ops.
+        writes: Dict[str, List[Tuple[float, int]]] = {}
+        for client in clients:
+            for record in client.history:
+                if record.op == "get":
+                    continue
+                position = position_of.get((record.client_id, record.seq))
+                if position is not None and service.shard_for(record.key) == shard:
+                    writes.setdefault(record.key, []).append(
+                        (record.completed_at, position)
+                    )
+        for client_id, seq, key, result, index, invoked_at, _completed_at in audits:
+            for completed_at, position in writes.get(key, ()):
+                if completed_at <= invoked_at and position >= index:
+                    violations.append(
+                        Violation(
+                            kind="stale-read",
+                            shard=shard,
+                            detail=(
+                                f"read ({client_id!r}, seq={seq}) of {key!r} was "
+                                f"served at index {index} after a write decided at "
+                                f"position {position} had completed by "
+                                f"t={completed_at} (read invoked at t={invoked_at})"
+                            ),
+                        )
+                    )
+    return violations
+
+
 def check_invariants(
     service: ShardedService, clients: List[ClosedLoopClient]
 ) -> List[Violation]:
@@ -404,6 +488,7 @@ def check_invariants(
     violations.extend(session_violations(service, clients))
     violations.extend(divergence_violations(service))
     violations.extend(durability_violations(service, clients))
+    violations.extend(stale_read_violations(service, clients))
     violations.extend(linearizability_violations(clients))
     return violations
 
@@ -430,7 +515,7 @@ def harvest_features(
             if history is not None:
                 leader_changes += max(0, len(history.leader_history) - 1)
     dropped = sum(system.stats.total_dropped for system in service.systems)
-    return {
+    features = {
         "decided_positions": service.total_instances(),
         "applied_commands": service.total_applied(),
         "completed_ops": sum(client.stats.completed for client in clients),
@@ -450,6 +535,15 @@ def harvest_features(
         "snapshots_rejected": service.snapshots_rejected(),
         "storage_writes": service.storage_writes(),
     }
+    if service.leases:
+        # Lease-mode-only features: leases-off feature vectors (and the
+        # fingerprints hashed over them) stay byte-identical to the seed.
+        features["lease_renewals"] = service.lease_renewals()
+        features["lease_gated_drops"] = service.lease_gated_drops()
+        features["lease_reads_served"] = service.lease_reads_served()
+        features["lease_read_fallbacks"] = service.lease_read_fallbacks()
+        features["read_index_polls"] = service.read_index_polls()
+    return features
 
 
 def _leader_change_times(service: ShardedService) -> Tuple[float, ...]:
@@ -539,4 +633,5 @@ __all__ = [
     "linearizability_violations",
     "run_scenario",
     "session_violations",
+    "stale_read_violations",
 ]

@@ -61,6 +61,13 @@ class MutationEngine:
         to cover a quorum intersection, see ``FaultPlan.amnesia_hazards``)
         are rejected at validation — the admission mode of storage-off
         campaigns that hunt for *other* bugs.
+    lease_duration:
+        When the campaign's spec runs the lease read path, its lease term.
+        Arms the lease-expiry mutator, which retimes partitions and link
+        faults to straddle the moment an observed leader change's lease runs
+        out — the razor-edge schedules where a stale leader is still inside
+        (or just past) its term.  ``None`` (the default) keeps the mutator
+        pool identical to the leases-off engine.
     """
 
     def __init__(
@@ -70,13 +77,15 @@ class MutationEngine:
         horizon: float = 100.0,
         require_quorum_memory: bool = False,
         max_tries: int = 16,
+        lease_duration: Optional[float] = None,
     ) -> None:
         self.n = n
         self.t = t
         self.horizon = horizon
         self.require_quorum_memory = require_quorum_memory
         self.max_tries = max_tries
-        self._mutators = (
+        self.lease_duration = lease_duration
+        mutators = [
             self._drop_event,
             self._retime_event,
             self._retime_to_leader_change,
@@ -87,7 +96,10 @@ class MutationEngine:
             self._insert_corruption,
             self._insert_partition,
             self._insert_slowdown,
-        )
+        ]
+        if lease_duration is not None:
+            mutators.append(self._retime_to_lease_expiry)
+        self._mutators = tuple(mutators)
 
     # ------------------------------------------------------------------ entry point --
     def mutate(
@@ -162,6 +174,47 @@ class MutationEngine:
             for i, event in enumerate(events):
                 if i != index and isinstance(event, (Crash, Recover)) and event.pid == pid:
                     events[i] = _replace_time(event, event.time + delta, self.horizon)
+        events[index] = moved
+        return events
+
+    def _retime_to_lease_expiry(self, events, rng, donors, changes):
+        """Straddle a lease-expiry instant with a partition or link fault.
+
+        A leader elected around an observed leader change holds its lease for
+        ``lease_duration`` past each renewal; the schedules worth probing
+        start isolating it *before* the term runs out and heal *after* — the
+        window in which a stale leader still believes in its lease while the
+        other side elects a successor.  This mutator moves an existing
+        partition/link event so its window brackets ``change +
+        lease_duration`` with small jitter on both ends.
+        """
+        assert self.lease_duration is not None
+        candidates = [
+            i
+            for i, event in enumerate(events)
+            if isinstance(event, (PartitionStart, LinkFault))
+        ]
+        if not candidates or not changes:
+            return None
+        index = rng.choice(candidates)
+        expiry = rng.choice(list(changes)) + self.lease_duration
+        start = expiry - rng.uniform(0.5, 0.9 * self.lease_duration)
+        moved = _replace_time(events[index], start, self.horizon)
+        if isinstance(moved, PartitionStart):
+            # Drag the matching heal past the expiry so the isolation covers it.
+            heals = [
+                i for i, event in enumerate(events) if isinstance(event, PartitionHeal)
+            ]
+            if heals:
+                heal_at = expiry + rng.uniform(1.0, 6.0)
+                heal_index = rng.choice(heals)
+                events[heal_index] = _replace_time(
+                    events[heal_index], heal_at, self.horizon
+                )
+        elif getattr(moved, "until", None) is not None:
+            until = min(expiry + rng.uniform(1.0, 6.0), self.horizon)
+            if until > moved.time:
+                moved = dataclasses.replace(moved, until=until)
         events[index] = moved
         return events
 

@@ -275,6 +275,8 @@ class ClosedLoopClient:
         self._shard: Optional[int] = None
         self._issued_at = 0.0
         self._last_submit = 0.0
+        #: True while the in-flight command travels the lease read path.
+        self._lease_read = False
 
     # ------------------------------------------------------------------ lifecycle --
     def start(self, delay: float = 0.0) -> None:
@@ -292,12 +294,24 @@ class ClosedLoopClient:
         self._current = command
         self._issued_at = self.service.now
         self._last_submit = self.service.now
-        self._shard = self.service.submit(command, gateway=self.gateway)
+        self._shard = self._submit(command)
         self.service.scheduler.schedule_after(self.poll_interval, self._poll)
+
+    def _submit(self, command: Command) -> int:
+        """Route *command* in: lease reads to the leader-hint gateway, the rest
+        (and every command with leases off) through the ordered path."""
+        self._lease_read = command.op == "get" and self.service.leases
+        if not self._lease_read:
+            return self.service.submit(command, gateway=self.gateway)
+        hint = self.service.leader_hint(self.service.shard_for(command.key))
+        gateway = hint if hint is not None else self.gateway
+        return self.service.submit_read(command, gateway=gateway)
 
     def _poll(self) -> None:
         command = self._current
         if command is None:
+            return
+        if self._lease_read and self._complete_lease_read(command):
             return
         applied_at = self._applied_replica(command)
         if applied_at is not None:
@@ -310,12 +324,56 @@ class ClosedLoopClient:
             return
         if self.service.now - self._last_submit >= self.retry_timeout:
             # Retransmit the *same* (client_id, seq) command through a different
-            # gateway; the session table makes a double decision harmless.
+            # gateway; the session table makes a double decision harmless (and a
+            # lease read is served from the newest registry entry or, fallen
+            # back, absorbed by the session table like any duplicate).
             self.stats.retries += 1
             self.gateway = self.rng.randint(0, self.service.n - 1)
-            self.service.submit(command, gateway=self.gateway)
+            if self._lease_read:
+                self._submit(command)
+            else:
+                self.service.submit(command, gateway=self.gateway)
             self._last_submit = self.service.now
         self.service.scheduler.schedule_after(self.poll_interval, self._poll)
+
+    def _complete_lease_read(self, command: Command) -> bool:
+        """Complete *command* if some correct replica lease-served it."""
+        assert self._shard is not None
+        for replica in self.service.correct_replicas(self._shard):
+            served = replica.lease_read_result(command.client_id, command.seq)
+            if served is None:
+                continue
+            result, index = served
+            self.stats.completed += 1
+            self.stats.latencies.append(self.service.now - self._issued_at)
+            self.service.read_audits[self._shard].append(
+                (
+                    command.client_id,
+                    command.seq,
+                    command.key,
+                    result,
+                    index,
+                    self._issued_at,
+                    self.service.now,
+                )
+            )
+            if self.record_history:
+                self.history.append(
+                    OperationRecord(
+                        client_id=command.client_id,
+                        seq=command.seq,
+                        op=command.op,
+                        key=command.key,
+                        args=tuple(command.args),
+                        invoked_at=self._issued_at,
+                        completed_at=self.service.now,
+                        result=result,
+                    )
+                )
+            self._current = None
+            self.service.scheduler.schedule_after(self.think_time, self._issue_next)
+            return True
+        return False
 
     def _completed(self, command: Command) -> bool:
         return self._applied_replica(command) is not None

@@ -31,9 +31,10 @@ rehydrates snapshot-then-tail instead of replaying the full history.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Type
+from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro.consensus.commands import Command, flatten_value
+from repro.consensus.leases import LeaseManager
 from repro.consensus.stack import OmegaConsensusStack
 from repro.core.config import OmegaConfig
 from repro.core.figure3 import Figure3Omega
@@ -60,6 +61,8 @@ class ServiceReplica(OmegaConsensusStack):
         retry_period: float = 10.0,
         batch_size: int = 8,
         compaction: Optional[CompactionPolicy] = None,
+        leases: Optional[LeaseManager] = None,
+        read_timeout: float = 12.0,
     ) -> None:
         super().__init__(
             pid=pid,
@@ -70,6 +73,8 @@ class ServiceReplica(OmegaConsensusStack):
             drive_period=drive_period,
             retry_period=retry_period,
             batch_size=batch_size,
+            leases=leases,
+            on_read_index=self._on_read_index if leases is not None else None,
         )
         self.state_machine = state_machine if state_machine is not None else KeyValueStore()
         #: Commands applied to the state machine (includes absorbed duplicates).
@@ -77,6 +82,20 @@ class ServiceReplica(OmegaConsensusStack):
         #: and reset to the capture point when a snapshot is installed.
         self.commands_delivered = 0
         self.log.on_deliver = self._apply_delivered
+        #: The lease manager of this incarnation (None = consensus-only reads).
+        self.leases = leases
+        self._read_timeout = read_timeout
+        self._next_read_id = 0
+        #: read_id -> (command, fallback deadline, certified index or None).
+        self._pending_reads: Dict[int, Tuple[Command, float, Optional[int]]] = {}
+        #: client_id -> (seq, result, certified index) of the latest served read.
+        self._lease_read_results: Dict[str, Tuple[int, Any, int]] = {}
+        #: Reads answered locally under the lease (never entered the log).
+        self.lease_reads_served = 0
+        #: Pending lease reads that timed out into the consensus path.
+        self.lease_read_fallbacks = 0
+        if leases is not None:
+            self.log.on_drive = self._expire_pending_reads
         self.compaction = compaction
         if compaction is not None:
             # Attached before the system calls attach_storage, so recovery can
@@ -94,6 +113,8 @@ class ServiceReplica(OmegaConsensusStack):
         for command in flatten_value(value):
             self.state_machine.apply(command)
             self.commands_delivered += 1
+        if self._pending_reads:
+            self._serve_matured_reads()
 
     # ------------------------------------------------------------------ snapshots --
     def _capture_snapshot(self) -> Any:
@@ -114,6 +135,98 @@ class ServiceReplica(OmegaConsensusStack):
         if not isinstance(command, Command):
             raise TypeError(f"expected a Command, got {command!r}")
         self.submit(command)
+
+    # ------------------------------------------------------------------ lease reads --
+    def submit_read(self, command: Command, now: float) -> None:
+        """Submit a ``get`` through the lease read path (poll for the result
+        with :meth:`lease_read_result`).
+
+        A trusted leader holding read authority serves from its local state
+        machine immediately; anyone else queues the read behind a read-index
+        certification (the leader confirms its commit frontier, this replica
+        serves once its applied frontier reaches it).  A read still pending
+        after ``read_timeout`` falls back to the consensus path — it is
+        submitted as an ordinary ordered command, so availability degrades to
+        the leases-off latency, never to an unanswered read.
+        """
+        if self.leases is None:
+            raise RuntimeError("submit_read requires a lease-enabled replica")
+        if command.op != "get":
+            raise ValueError(f"submit_read only serves gets, got {command.op!r}")
+        frontier = self.log.frontier
+        if self.omega.leader() == self.pid and self.leases.read_authority(
+            now, frontier
+        ):
+            self._serve_read(command, frontier)
+            return
+        read_id = self._next_read_id
+        self._next_read_id += 1
+        self._pending_reads[read_id] = (command, now + self._read_timeout, None)
+        self.log.request_read_index(read_id)
+
+    def lease_read_result(self, client_id: str, seq: int) -> Optional[Tuple[Any, int]]:
+        """``(result, certified index)`` of *client_id*'s read ``seq``, if this
+        replica served it through the lease path (``None`` otherwise — the
+        caller then checks the ordinary :meth:`command_applied` path, which a
+        timed-out read falls back to)."""
+        entry = self._lease_read_results.get(client_id)
+        if entry is not None and entry[0] == seq:
+            return entry[1], entry[2]
+        return None
+
+    def _serve_read(self, command: Command, index: int) -> None:
+        machine = self.state_machine
+        if not isinstance(machine, KeyValueStore):
+            raise NotImplementedError("lease reads require a KeyValueStore")
+        result = machine.get(command.key)
+        # Latest-seq registry: the one-in-flight client discipline means a
+        # fresh read always supersedes the previous one.
+        self._lease_read_results[command.client_id] = (command.seq, result, index)
+        self.lease_reads_served += 1
+
+    def _on_read_index(self, read_id: int, index: int) -> None:
+        """The leader certified *index* for *read_id* (read-index protocol)."""
+        pending = self._pending_reads.get(read_id)
+        if pending is None:
+            return
+        command, deadline, _ = pending
+        if self.log.frontier >= index:
+            del self._pending_reads[read_id]
+            self._serve_read(command, index)
+        else:
+            self._pending_reads[read_id] = (command, deadline, index)
+
+    def _serve_matured_reads(self) -> None:
+        frontier = self.log.frontier
+        ready = [
+            read_id
+            for read_id, (_, _, index) in self._pending_reads.items()
+            if index is not None and frontier >= index
+        ]
+        for read_id in ready:
+            command, _, index = self._pending_reads.pop(read_id)
+            self._serve_read(command, index)
+
+    def _expire_pending_reads(self, now: float) -> None:
+        """Drive-tick hook: reads past their deadline fall back to consensus."""
+        if not self._pending_reads:
+            return
+        overdue = [
+            read_id
+            for read_id, (_, deadline, _) in self._pending_reads.items()
+            if now >= deadline
+        ]
+        for read_id in overdue:
+            command, _, _ = self._pending_reads.pop(read_id)
+            self.lease_read_fallbacks += 1
+            self.submit(command)
+
+    def lifetime_counters(self):
+        counters = super().lifetime_counters()
+        if self.leases is not None:
+            counters["lease_reads_served"] = self.lease_reads_served
+            counters["lease_read_fallbacks"] = self.lease_read_fallbacks
+        return counters
 
     def command_applied(self, client_id: str, seq: int) -> bool:
         """True once the command identified by ``(client_id, seq)`` took effect here."""

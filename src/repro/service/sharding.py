@@ -21,7 +21,9 @@ from typing import Callable, Dict, List, Optional, Tuple, Type, Union
 
 from repro.assumptions.base import Scenario
 from repro.assumptions.scenarios import IntermittentRotatingStarScenario
+from repro.consensus.batching import AdaptiveBatchPolicy
 from repro.consensus.commands import Command
+from repro.consensus.leases import LeaseManager
 from repro.core.figure3 import Figure3Omega
 from repro.core.omega_base import RotatingStarOmegaBase
 from repro.service.replica import ServiceReplica
@@ -79,7 +81,13 @@ class ShardedService:
         (``OmegaConfig.round_resync_gap``) on every shard, exactly as a static
         plan with such events would.
     batch_size:
-        Commands the shard leader packs into one consensus instance.
+        Commands the shard leader packs into one consensus instance — an
+        ``int`` (fixed limit, byte-identical to the seed behaviour), the
+        string ``"adaptive"`` (an :class:`~repro.consensus.batching.
+        AdaptiveBatchPolicy` with default bounds) or a configured policy
+        instance used as a template: each replica incarnation gets its own
+        :meth:`~repro.consensus.batching.AdaptiveBatchPolicy.spawn`-ed copy,
+        so the EWMA state is per-leader, never shared.
     seed:
         Master seed; every shard derives an independent stream from it.
     stable_storage:
@@ -108,6 +116,26 @@ class ShardedService:
         **not** cure quorum amnesia (they restore applied state, never promise
         memory), so :attr:`amnesia_hazards` is computed exactly as without
         compaction.
+    leases:
+        Lease-based read path.  ``False`` (the default) keeps every ``get``
+        on the consensus path — all committed fingerprints stay
+        byte-identical.  ``True`` gives every replica a
+        :class:`~repro.consensus.leases.LeaseManager`: the trusted leader
+        renews a read lease through its heartbeat traffic and serves
+        :meth:`submit_read` gets locally inside a valid lease (validated on
+        the virtual clock); followers serve through the read-index protocol;
+        reads that cannot be certified in time fall back to the consensus
+        path.  Per-shard renewal audits land in :attr:`lease_audits` (the
+        mutual-exclusion evidence the property tests check) and client-side
+        read observations in :attr:`read_audits` (the stale-read probe's
+        input) — both lists survive replica recoveries.
+    lease_duration:
+        Lease term in virtual time (must comfortably exceed ``drive_period``,
+        the renewal cadence).
+    lease_validation:
+        **Unsafe when False**: lease holders skip the expiry check at serve
+        time.  Exists only so the stale-read regression witness can pin the
+        schedule on which clock validation is what prevents a stale read.
     """
 
     def __init__(
@@ -119,7 +147,7 @@ class ShardedService:
         crash_schedule_factory: Optional[Callable[[int], CrashSchedule]] = None,
         fault_plan_factory: Optional[Callable[[int], FaultPlan]] = None,
         adversary=None,
-        batch_size: int = 8,
+        batch_size: Union[int, str, AdaptiveBatchPolicy] = 8,
         drive_period: float = 2.0,
         retry_period: float = 10.0,
         seed: int = 0,
@@ -127,6 +155,9 @@ class ShardedService:
         state_machine_factory: Callable[[], StateMachine] = KeyValueStore,
         stable_storage: Union[bool, WriteCostModel] = False,
         compaction: Optional[Union[int, CompactionPolicy]] = None,
+        leases: bool = False,
+        lease_duration: float = 6.0,
+        lease_validation: bool = True,
     ) -> None:
         require_positive(num_shards, "num_shards")
         if crash_schedule_factory is not None and fault_plan_factory is not None:
@@ -137,8 +168,27 @@ class ShardedService:
         self.num_shards = int(num_shards)
         self.n = n
         self.t = t
+        if batch_size == "adaptive":
+            batch_size = AdaptiveBatchPolicy()
         self.batch_size = batch_size
+        self._batch_policy = (
+            batch_size if isinstance(batch_size, AdaptiveBatchPolicy) else None
+        )
         self.seed = seed
+        #: Lease read path enabled? (see the class docstring)
+        self.leases = bool(leases)
+        self.lease_duration = lease_duration
+        self.lease_validation = lease_validation
+        #: Per-shard ``(pid, start, expiry)`` renewal audits (lease mode only);
+        #: shared by every replica incarnation of the shard, so the whole-run
+        #: mutual-exclusion evidence survives crashes and recoveries.
+        self.lease_audits: List[List[Tuple[int, float, float]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        #: Per-shard client-observed lease reads, appended by
+        #: :class:`~repro.service.clients.ClosedLoopClient`:
+        #: ``(client_id, seq, key, result, index, invoked_at, completed_at)``.
+        self.read_audits: List[List[Tuple]] = [[] for _ in range(self.num_shards)]
         self.router = ShardRouter(num_shards)
         self.scheduler = EventScheduler()
         self.systems: List[System] = []
@@ -205,7 +255,22 @@ class ShardedService:
                     omega_config, round_resync_gap=DEFAULT_ROUND_RESYNC_GAP
                 )
 
-            def factory(pid: int, _config=omega_config) -> ServiceReplica:
+            def factory(
+                pid: int, _config=omega_config, _shard=shard
+            ) -> ServiceReplica:
+                lease_manager = None
+                if self.leases:
+                    # Per-incarnation manager (a recovered replica starts with
+                    # the grant blackout of a fresh one); the audit list is the
+                    # shard's, so renewal evidence survives recoveries.
+                    lease_manager = LeaseManager(
+                        pid=pid,
+                        n=n,
+                        t=t,
+                        duration=self.lease_duration,
+                        validate_clock=self.lease_validation,
+                        audit=self.lease_audits[_shard],
+                    )
                 return ServiceReplica(
                     pid=pid,
                     n=n,
@@ -215,8 +280,13 @@ class ShardedService:
                     omega_config=_config,
                     drive_period=drive_period,
                     retry_period=retry_period,
-                    batch_size=batch_size,
+                    batch_size=(
+                        self._batch_policy.spawn()
+                        if self._batch_policy is not None
+                        else batch_size
+                    ),
                     compaction=self.compaction,
+                    leases=lease_manager,
                 )
 
             self.systems.append(
@@ -288,6 +358,31 @@ class ShardedService:
         shell.algorithm.submit_command(command)
         return shard
 
+    def submit_read(self, command: Command, gateway: Optional[int] = None) -> int:
+        """Submit a ``get`` through the lease read path; return the shard index.
+
+        The gateway replica serves it locally when it is a leader holding read
+        authority, queues it behind a read-index certification otherwise, and
+        times it out into the ordinary consensus path when neither works — so
+        the client contract is the same as :meth:`submit`: poll until some
+        correct replica reports the read complete (via
+        :meth:`~repro.service.replica.ServiceReplica.lease_read_result` or,
+        after a fallback, ``command_applied``).
+        """
+        if not self.leases:
+            raise RuntimeError("submit_read requires ShardedService(leases=True)")
+        shard = self.router.shard_for(command.key)
+        system = self.systems[shard]
+        if gateway is not None and not system.shells[gateway].crashed:
+            shell = system.shells[gateway]
+        else:
+            alive = system.alive_shells()
+            if not alive:
+                raise RuntimeError(f"shard {shard} has no alive replica")
+            shell = alive[0]
+        shell.algorithm.submit_read(command, now=self.now)
+        return shard
+
     # ------------------------------------------------------------------ accessors --
     def replicas(self, shard: int) -> List[ServiceReplica]:
         """Return every replica of *shard* (including crashed ones)."""
@@ -315,6 +410,15 @@ class ShardedService:
     def reference_replica(self, shard: int) -> ServiceReplica:
         """A correct replica used for shard-level reporting."""
         return self.correct_replicas(shard)[0]
+
+    def leader_hint(self, shard: int) -> Optional[int]:
+        """Leader agreed by *shard*'s alive replicas (None during a split).
+
+        Lease-mode clients route gets through this hint so the common case is
+        the leader's local serve; a ``None`` (or stale) hint only costs the
+        read-index or fallback detour, never correctness.
+        """
+        return self.systems[shard].agreed_leader()
 
     def leaders(self) -> Dict[int, Optional[int]]:
         """shard -> leader agreed by the shard's alive replicas (None = split)."""
@@ -447,6 +551,26 @@ class ShardedService:
         """Catch-up replies served across all shards and incarnations."""
         return self._lifetime_counter("catchup_replies_sent")
 
+    def lease_renewals(self) -> int:
+        """Quorum-satisfied lease renewals across all shards and incarnations."""
+        return self._lifetime_counter("lease_renewals")
+
+    def lease_gated_drops(self) -> int:
+        """Foreign proposer messages dropped by live grant holders (whole run)."""
+        return self._lifetime_counter("lease_gated_drops")
+
+    def lease_reads_served(self) -> int:
+        """Reads served locally under a lease (leader- plus read-index-path)."""
+        return self._lifetime_counter("lease_reads_served")
+
+    def lease_read_fallbacks(self) -> int:
+        """Lease reads that timed out into the consensus path."""
+        return self._lifetime_counter("lease_read_fallbacks")
+
+    def read_index_polls(self) -> int:
+        """Read-index certification requests sent by followers (whole run)."""
+        return self._lifetime_counter("read_index_polls")
+
     def snapshots_taken(self) -> int:
         """Snapshots captured across all shards and incarnations."""
         return self._snapshot_counter("snapshots_taken")
@@ -492,7 +616,7 @@ class ShardedService:
         combine services (the parallel shard executor) must fold it with
         ``max``, not ``+``.
         """
-        return {
+        counters = {
             "recoveries": sum(
                 shell.recoveries
                 for system in self.systems
@@ -506,6 +630,15 @@ class ShardedService:
             "snapshots_rejected": self.snapshots_rejected(),
             "peak_decided_residency": self.peak_decided_residency(),
         }
+        if self.leases:
+            # Added only in lease mode: leases-off perf reports (and the
+            # fingerprints derived from them) stay byte-identical to the seed.
+            counters["lease_renewals"] = self.lease_renewals()
+            counters["lease_gated_drops"] = self.lease_gated_drops()
+            counters["lease_reads_served"] = self.lease_reads_served()
+            counters["lease_read_fallbacks"] = self.lease_read_fallbacks()
+            counters["read_index_polls"] = self.read_index_polls()
+        return counters
 
     def rng(self, *labels: object) -> RandomSource:
         """Derive a deterministic random source for workload machinery."""

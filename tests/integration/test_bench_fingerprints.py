@@ -33,6 +33,7 @@ PINNED_QUICK_FINGERPRINTS = {
     "sharded_service": "42a2ccb8bb5276211502618783b4f4f5f6bc18f33f50484e3c586ed94d797f32",
     "sharded_service_storage": "62a29253e76abd677d118119d8343a024fe0d2596947f8c46f60f94bedd50ea5",
     "sharded_service_compaction": "3991ea5c639d4c4e646fff0e392fa3ec8454ea4694f9737ed958ae765a4b6a8b",
+    "sharded_service_read_leases": "3b1a8995ee5ae3894dad5ef8255cc4b2a0f95bd7d656b4be24b473ed2c8789c7",
 }
 
 
@@ -49,10 +50,24 @@ PINNED_QUICK_FINGERPRINTS = {
             "sharded_service_compaction",
             lambda: bench_perf.bench_sharded_service_compaction(quick=True),
         ),
+        (
+            "sharded_service_read_leases",
+            lambda: bench_perf.bench_sharded_service_read_leases(quick=True),
+        ),
     ],
 )
 def test_sequential_workload_matches_pinned_fingerprint(workload, runner):
     assert runner()["fingerprint"] == PINNED_QUICK_FINGERPRINTS[workload]
+
+
+def test_read_lease_workload_clears_the_speedup_floor():
+    """The read path's perf contract: the quick shape already clears the floor
+    ``main`` enforces, so a latency regression on lease reads fails here
+    before it fails in CI's perf-smoke."""
+    result = bench_perf.bench_sharded_service_read_leases(quick=True)
+    assert result["consistent"]
+    assert result["read_speedup"] >= bench_perf.LEASE_READ_SPEEDUP_FLOOR
+    assert result["lease_reads_served"] > result["baseline_committed_commands"]
 
 
 def test_noop_fault_plan_path_is_byte_identical():
