@@ -33,10 +33,22 @@ let it serve before it has applied everything decided before the lease began
 (a ``Decide`` may have reached only one replica; an amnesic restarted leader
 may not remember its own pre-crash decisions).  Every grant carries a
 ``barrier_hint`` — the granter's highest position seen decided or accepted
-from a foreign proposer — and the leader may serve only once its applied
-frontier is strictly past the maximum hint over a satisfied round (its own
-ingredient included).  Positions accepted from the leader's *own* ballots are
-deliberately excluded: its own in-flight proposals must not stall its reads.
+from *any* ballot — and the leader may serve only once its applied frontier
+is strictly past the maximum hint over a satisfied round (its own ingredient
+included).  Positions accepted from the leader's own ballots are *not*
+excluded: a ballot's proposer pid cannot distinguish the leader's current
+incarnation from an amnesic pre-crash one, so an exclusion would let a
+restarted leader read past its dead incarnation's in-flight commits.  The
+cost of including them is read latency under the leader's own in-flight
+proposals, never safety.
+
+Renewal rounds are opened on every drive tick, but a new round does **not**
+invalidate the grants of earlier rounds still in flight: grants are accepted
+for any round whose term has not yet run out, and a quorum inside any single
+round completes a renewal with expiry ``that round's sent_at + duration``
+(still conservative — each granter's window opened at or after that send
+time).  Without this, a grant round trip at or above the drive period would
+reset the round book every tick and the lease would never be held at all.
 
 The unsafe ``validate_clock=False`` switch disables the serve-time expiry
 check — the stale-read witness of ``tests/regressions`` uses it to show the
@@ -109,10 +121,12 @@ class LeaseManager:
         self._granted_to: Optional[int] = None
         self._grant_expires = 0.0
 
-        # Holder role: the renewal round in flight and the earned lease.
+        # Holder role: the renewal rounds in flight and the earned lease.
+        # Every round still inside its term keeps its grant book — a grant
+        # round trip slower than the drive period must not be invalidated by
+        # the next tick's round.  round id -> (sent_at, granter pid -> hint).
         self._round = 0
-        self._round_sent_at = 0.0
-        self._round_grants: Dict[int, int] = {}  # granter pid -> barrier hint
+        self._rounds: Dict[int, Tuple[float, Dict[int, int]]] = {}
         self._lease_expires = 0.0
         #: Highest barrier hint over every satisfied round (monotone).
         self.barrier = NO_BARRIER
@@ -159,6 +173,13 @@ class LeaseManager:
     def start_round(self, now: float, own_hint: int) -> int:
         """Open a new renewal round at send time *now*; returns the round id.
 
+        Earlier rounds whose term has not yet run out keep their grant books —
+        a grant that round-trips slower than the drive period still completes
+        its round's quorum (without this, every tick would reset the book and
+        a leader whose grants take ``>= drive_period`` to return would never
+        hold the lease at all).  Rounds past their term are pruned here, so
+        the book never holds more than ``duration / drive_period`` rounds.
+
         The self-grant is attempted immediately (with this replica's own
         barrier ingredient): when it succeeds, this replica gates foreign
         proposers exactly like any other granting quorum member and counts
@@ -167,25 +188,37 @@ class LeaseManager:
         count itself while a forgotten pre-crash grant may still be live.
         """
         self._round += 1
-        self._round_sent_at = now
-        self._round_grants = {}
+        for stale in [
+            round_id
+            for round_id, (sent_at, _) in self._rounds.items()
+            if sent_at + self.duration <= now
+        ]:
+            del self._rounds[stale]
+        grants: Dict[int, int] = {}
+        self._rounds[self._round] = (now, grants)
         if self.try_grant(now, self.pid):
-            self._round_grants[self.pid] = own_hint
+            grants[self.pid] = own_hint
         return self._round
 
     def on_grant(self, now: float, granter: int, round_id: int, hint: int) -> None:
-        """Record a grant for the current round; completes the renewal when a
-        quorum is reached, extending the lease to ``sent_at + duration``."""
-        if round_id != self._round or granter in self._round_grants:
+        """Record a grant for a still-live round; completes that round's
+        renewal when a quorum is reached, extending the lease to the round's
+        ``sent_at + duration`` (conservative: every granter's window opened
+        at or after the round's send time)."""
+        record = self._rounds.get(round_id)
+        if record is None:
+            return  # unknown round, or its term already ran out
+        sent_at, grants = record
+        if sent_at + self.duration <= now or granter in grants:
+            return  # the round's whole term elapsed in flight, or a duplicate
+        grants[granter] = hint
+        if len(grants) < self.quorum:
             return
-        self._round_grants[granter] = hint
-        if len(self._round_grants) < self.quorum:
-            return
-        expiry = self._round_sent_at + self.duration
+        expiry = sent_at + self.duration
         if expiry <= self._lease_expires:
             return  # a newer round already earned a later expiry
         self._lease_expires = expiry
-        round_barrier = max(self._round_grants.values())
+        round_barrier = max(grants.values())
         if round_barrier > self.barrier:
             self.barrier = round_barrier
         self.renewals += 1

@@ -124,8 +124,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro.consensus.batching import AdaptiveBatchPolicy
 from repro.consensus.commands import Batch, flatten_value, payload_intact
-from repro.consensus.instance import ConsensusInstance
-from repro.consensus.leases import NO_BARRIER, LeaseManager
+from repro.consensus.instance import NO_BALLOT, ConsensusInstance
+from repro.consensus.leases import LeaseManager
 from repro.consensus.messages import (
     AcceptRequest,
     CatchUpReply,
@@ -337,10 +337,12 @@ class ReplicatedLog(Process):
         #: it to expire pending lease reads into the consensus fallback.
         #: Invoked only when leases are enabled.
         self.on_drive: Optional[Callable[[float], None]] = None
-        #: Undecided positions with an accepted value, by proposer pid of the
-        #: accepting ballot — the foreign-accepted ingredient of lease barrier
-        #: hints.  Maintained only when leases are on (instance callback).
-        self._accepted_proposer: Dict[int, int] = {}
+        #: Undecided positions holding an accepted value — the accepted
+        #: ingredient of lease barrier hints (a commit may be in flight whose
+        #: Decide this replica never saw).  Maintained only when leases are on
+        #: (instance callback), and repopulated from the rehydrated acceptor
+        #: states on recovery.
+        self._accepted_undecided: set = set()
 
         self._instances: Dict[int, ConsensusInstance] = {}
         self._attempts: Dict[int, int] = {}
@@ -534,6 +536,18 @@ class ReplicatedLog(Process):
                 self._instance(position).restore_acceptor_state(
                     promised, accepted_ballot, accepted_value
                 )
+                if (
+                    self.leases is not None
+                    and accepted_ballot != NO_BALLOT
+                    and position not in self.decisions
+                ):
+                    # The on_accept hook fires only in the live AcceptRequest
+                    # handler; a rehydrated acceptor must re-enter its durably
+                    # accepted undecided positions here, or this granter's
+                    # barrier hints would omit commits that were in flight at
+                    # the crash — letting a new leaseholder gain read
+                    # authority below a committed-but-unlearnt write.
+                    self._accepted_undecided.add(position)
             for (_, position), attempt in store.items_with_prefix("attempt"):
                 if position < floor:
                     store.delete(("attempt", position))
@@ -618,7 +632,7 @@ class ReplicatedLog(Process):
                     sender,
                     LeaseGrant(
                         round=message.round,
-                        barrier_hint=self._lease_barrier_hint(sender),
+                        barrier_hint=self._lease_barrier_hint(),
                     ),
                 )
             return
@@ -704,7 +718,7 @@ class ReplicatedLog(Process):
             # admit an already-decided value, so nothing else can match).
             self._pending.discard(command)
             self._forwarded.discard(command)
-        self._accepted_proposer.pop(instance_id, None)
+        self._accepted_undecided.discard(instance_id)
         self._advance_frontier()
         if self.snapshots is not None and not self._rehydrating:
             self.snapshots.maybe_snapshot()
@@ -747,7 +761,7 @@ class ReplicatedLog(Process):
             self._instances.pop(position, None)
             self._attempts.pop(position, None)
             self._last_attempt_time.pop(position, None)
-            self._accepted_proposer.pop(position, None)
+            self._accepted_undecided.discard(position)
             if self._store is not None:
                 self._store.delete(("decided", position))
                 self._store.delete(("acceptor", position))
@@ -779,8 +793,8 @@ class ReplicatedLog(Process):
             del self._attempts[position]
         for position in [p for p in self._last_attempt_time if p < floor]:
             del self._last_attempt_time[position]
-        for position in [p for p in self._accepted_proposer if p < floor]:
-            del self._accepted_proposer[position]
+        for position in [p for p in self._accepted_undecided if p < floor]:
+            self._accepted_undecided.discard(position)
         if self._store is not None and not self._rehydrating:
             for key, _ in self._store.items_with_prefix("decided"):
                 if key[1] < floor:
@@ -884,27 +898,31 @@ class ReplicatedLog(Process):
         self._read_index_queue.append(read_id)
 
     def _note_accept(self, position: int, ballot: int) -> None:
-        """Track the proposer of the accepted value at an undecided position
-        (the foreign-accepted ingredient of lease barrier hints)."""
-        self._accepted_proposer[position] = ballot % self.n
+        """Track undecided positions holding an accepted value (the accepted
+        ingredient of lease barrier hints)."""
+        self._accepted_undecided.add(position)
 
-    def _lease_barrier_hint(self, grantee: int) -> int:
-        """This replica's read-authority barrier ingredient for *grantee*:
-        the highest position seen decided (any proposer — an amnesic restarted
-        leader must re-apply even its own pre-crash decisions) or accepted
-        from a *foreign* ballot (a commit may be in flight that the grantee
-        never saw announced).  The grantee's own accepted positions are
-        excluded so its in-flight proposals never stall its own reads."""
+    def _lease_barrier_hint(self) -> int:
+        """This replica's read-authority barrier ingredient: the highest
+        position seen decided or accepted from *any* ballot (a commit may be
+        in flight whose Decide the grantee never saw).  The grantee's own
+        accepted positions are deliberately **not** excluded: a ballot's
+        proposer pid cannot distinguish the grantee's current incarnation
+        from an amnesic pre-crash one, and excluding a dead incarnation's
+        in-flight commit would let the restarted leader regain read authority
+        below a write some client already saw complete.  The cost is read
+        latency — a leader's reads wait out its own in-flight proposals —
+        never safety."""
         hint = self._max_decided
-        for position, proposer in self._accepted_proposer.items():
-            if proposer != grantee and position > hint:
+        for position in self._accepted_undecided:
+            if position > hint:
                 hint = position
         return hint
 
     def _drive_leases(self, env: Environment, leader: int) -> None:
         if leader == self.pid:
             round_id = self.leases.start_round(
-                env.now, self._lease_barrier_hint(self.pid)
+                env.now, self._lease_barrier_hint()
             )
             env.broadcast(LeaseRequest(round=round_id, sent_at=env.now))
         if not self._read_index_queue:

@@ -377,14 +377,20 @@ def durability_violations(
     Lease-served reads are exempt when the lease path is on: they are answered
     from a replica's applied state without ever entering the log, so "applied
     at a correct replica" is not their durability contract — their correctness
-    is checked by the linearizability and stale-read probes instead.  (A get
-    that *fell back* to consensus is also exempt; that only widens what the
-    probe ignores, never what it accepts.)
+    is checked by the linearizability and stale-read probes instead.  Only
+    reads that actually appear in the lease-read audit trail are exempt: a get
+    that timed out and *fell back* to the ordered consensus path did enter the
+    log and stays subject to the check like any write.
     """
     violations: List[Violation] = []
+    lease_served: set = set()
+    if service.leases:
+        for audits in service.read_audits:
+            for client_id, seq, *_ in audits:
+                lease_served.add((client_id, seq))
     for client in clients:
         for record in client.history:
-            if service.leases and record.op == "get":
+            if record.op == "get" and (record.client_id, record.seq) in lease_served:
                 continue
             shard = service.shard_for(record.key)
             if not any(
