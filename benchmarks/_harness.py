@@ -10,11 +10,10 @@ are reported for inspection in ``EXPERIMENTS.md``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Dict, Optional, Sequence
 
-from repro.analysis import ExperimentResult, LeaderPoller, build_system, run_omega_experiment
+from repro.analysis import ExperimentResult, build_system, run_omega_experiment
 from repro.assumptions.base import Scenario
-from repro.core.omega_base import RotatingStarOmegaBase
 from repro.simulation.crash import CrashSchedule
 from repro.util.tables import format_table
 

@@ -6,8 +6,6 @@ the timeouts stabilise — side by side with Figure 2, whose levels and timeouts
 without bound once a process has crashed.
 """
 
-import pytest
-
 from _harness import record, run_and_summarize
 from repro.assumptions import IntermittentRotatingStarScenario
 from repro.core import Figure2Omega, Figure3Omega

@@ -9,7 +9,7 @@ import pytest
 
 from _harness import record, run_and_summarize
 from repro.assumptions import GrowingStarScenario
-from repro.core import Figure3Omega, FgOmega
+from repro.core import FgOmega, Figure3Omega
 
 DURATION = 400.0
 

@@ -12,7 +12,7 @@ Run with:  python examples/compare_assumptions.py
 
 from repro.analysis import ExperimentResult, run_omega_experiment
 from repro.assumptions import GrowingStarScenario, special_case_scenarios
-from repro.core import Figure3Omega, FgOmega
+from repro.core import FgOmega, Figure3Omega
 from repro.util.tables import format_table
 
 N, T, CENTER, SEED = 7, 3, 2, 7

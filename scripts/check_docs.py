@@ -9,7 +9,10 @@ out of sync with ``examples/*.py``.  This script fails the build on either:
   must exist on disk (http(s) links and pure anchors are not checked — CI
   must not depend on the network);
 * every ``examples/*.py`` script must be mentioned in the README's
-  "Examples" table, and every script the table mentions must exist.
+  "Examples" table, and every script the table mentions must exist;
+* the architecture guide's "Static analysis" rule table and the checkers
+  registered in ``repro.lint`` must be in bijection — a new rule cannot land
+  undocumented, and a documented rule must exist.
 
 Usage::
 
@@ -23,6 +26,8 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+# The docs CI job runs without PYTHONPATH; make repro.lint importable anyway.
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Inline markdown links: [text](target); images share the syntax.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -86,6 +91,48 @@ def check_examples_table(readme: Path) -> list:
     return errors
 
 
+#: Rule ids in the architecture guide's Static analysis table: `XXX000`.
+_RULE_ID = re.compile(r"`([A-Z]{3}\d{3})`")
+
+
+def _lint_rule_table_ids(architecture: Path) -> set:
+    """Rule ids named in the first cell of the Static analysis table rows."""
+    in_section = False
+    ids = set()
+    for line in architecture.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            in_section = line.strip().lower() == "## static analysis"
+            continue
+        if in_section and line.lstrip().startswith("|"):
+            first_cell = line.split("|")[1] if line.count("|") >= 2 else ""
+            ids.update(_RULE_ID.findall(first_cell))
+    return ids
+
+
+def check_lint_rule_table(architecture: Path) -> list:
+    """The documented rule table and the registered checkers must agree."""
+    from repro.lint import RULES
+
+    documented = _lint_rule_table_ids(architecture)
+    if not documented:
+        return [
+            'docs/ARCHITECTURE.md: no "## Static analysis" section with a '
+            "rule table found"
+        ]
+    errors = []
+    for missing in sorted(set(RULES) - documented):
+        errors.append(
+            f"docs/ARCHITECTURE.md: checker {missing} is registered in "
+            "repro.lint but missing from the Static analysis rule table"
+        )
+    for phantom in sorted(documented - set(RULES)):
+        errors.append(
+            f"docs/ARCHITECTURE.md: rule table documents {phantom}, which is "
+            "not a registered checker"
+        )
+    return errors
+
+
 def main() -> int:
     documents = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
     documents += sorted((REPO_ROOT / "docs").glob("*.md"))
@@ -94,6 +141,7 @@ def main() -> int:
         if document.exists():
             errors.extend(check_links(document))
     errors.extend(check_examples_table(REPO_ROOT / "README.md"))
+    errors.extend(check_lint_rule_table(REPO_ROOT / "docs" / "ARCHITECTURE.md"))
     if errors:
         print("\n".join(errors), file=sys.stderr)
         print(f"\n{len(errors)} documentation problem(s)", file=sys.stderr)

@@ -13,7 +13,7 @@ The quantities of interest for the service layer:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.util.validation import require_positive
 

@@ -21,7 +21,7 @@ from typing import Callable, Optional, Tuple
 from repro.assumptions.scenarios import _StarScenarioBase
 from repro.assumptions.star import StarDelayModel, StarTiming
 from repro.core.config import OmegaConfig
-from repro.simulation.delays import DelayModel, MessageContext
+from repro.simulation.delays import DelayModel
 
 
 class GrowingStarDelayModel(StarDelayModel):

@@ -23,11 +23,12 @@ differ only in how the star schedule and the background adversary are configured
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.assumptions.base import Scenario
 from repro.assumptions.star import (
-    AlwaysFastPolicy,
+    TIMELY,
+    WINNING,
     EscalatingPersecutionPolicy,
     FixedSlowSetPolicy,
     RandomSlowPolicy,
@@ -35,8 +36,6 @@ from repro.assumptions.star import (
     StarDelayModel,
     StarSchedule,
     StarTiming,
-    TIMELY,
-    WINNING,
 )
 from repro.core.config import OmegaConfig
 from repro.simulation.delays import DelayModel

@@ -38,7 +38,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.simulation.delays import DelayModel, MessageContext, UniformStream
 from repro.util.rng import RandomSource
-from repro.util.validation import require_positive, validate_process_count
+from repro.util.validation import validate_process_count
 
 #: Point property constants.
 TIMELY = "timely"

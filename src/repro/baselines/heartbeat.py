@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
-from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
 from repro.baselines.messages import Heartbeat
+from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
 from repro.util.validation import require_positive, validate_process_count
 
 _HEARTBEAT_TIMER = "heartbeat"

@@ -33,10 +33,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.storage.stable_store import StableStore
 
 from repro.consensus.messages import (
-    AcceptRequest,
     Accepted,
+    AcceptRequest,
     Decide,
-    Forward,
     Nack,
     Prepare,
     Promise,

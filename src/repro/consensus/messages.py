@@ -10,12 +10,12 @@ ballot ``b`` of proposer ``p`` in an ``n``-process system is encoded as
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Optional, Tuple
+from typing import Any, Tuple
 
 from repro.core.interfaces import Message
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Prepare(Message):
     """Phase-1a: the proposer asks acceptors to promise ballot ``ballot``."""
 
@@ -27,7 +27,7 @@ class Prepare(Message):
         return "PREPARE"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Promise(Message):
     """Phase-1b: an acceptor promises ``ballot`` and reveals its accepted value."""
 
@@ -41,7 +41,7 @@ class Promise(Message):
         return "PROMISE"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class AcceptRequest(Message):
     """Phase-2a: the proposer asks acceptors to accept ``value`` at ``ballot``."""
 
@@ -54,7 +54,7 @@ class AcceptRequest(Message):
         return "ACCEPT"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Accepted(Message):
     """Phase-2b: an acceptor acknowledges having accepted ``value`` at ``ballot``."""
 
@@ -67,7 +67,7 @@ class Accepted(Message):
         return "ACCEPTED"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Nack(Message):
     """An acceptor refuses a ballot because it promised a higher one."""
 
@@ -80,7 +80,7 @@ class Nack(Message):
         return "NACK"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Decide(Message):
     """Decision announcement for one consensus instance."""
 
@@ -92,7 +92,7 @@ class Decide(Message):
         return "DECIDE"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Forward(Message):
     """A client command forwarded to the process currently trusted as leader."""
 
@@ -103,7 +103,7 @@ class Forward(Message):
         return "FORWARD"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class CatchUpRequest(Message):
     """A replica asks a peer for decisions at positions >= ``frontier``.
 
@@ -123,7 +123,7 @@ class CatchUpRequest(Message):
         return "CATCHUP_REQ"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class CatchUpReply(Message):
     """Decided ``(position, value)`` pairs answering a :class:`CatchUpRequest`.
 
@@ -138,7 +138,7 @@ class CatchUpReply(Message):
         return "CATCHUP_REP"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class LeaseRequest(Message):
     """The trusted leader asks every replica to (re)grant its read lease.
 
@@ -158,7 +158,7 @@ class LeaseRequest(Message):
         return "LEASE_REQ"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class LeaseGrant(Message):
     """A replica grants (or renews) the requester's read lease.
 
@@ -184,7 +184,7 @@ class LeaseGrant(Message):
         return "LEASE_GRANT"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ReadIndexRequest(Message):
     """A follower asks the leader to certify its commit frontier for one read.
 
@@ -201,7 +201,7 @@ class ReadIndexRequest(Message):
         return "READ_INDEX_REQ"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ReadIndexReply(Message):
     """The leader's frontier certification answering a :class:`ReadIndexRequest`.
 
@@ -217,7 +217,7 @@ class ReadIndexReply(Message):
         return "READ_INDEX_REP"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SnapshotRequest(Message):
     """A receiver mid-transfer asks the sender for one more snapshot chunk.
 
@@ -237,7 +237,7 @@ class SnapshotRequest(Message):
         return "SNAP_REQ"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SnapshotReply(Message):
     """One chunk of a snapshot transfer (chunked like :class:`CatchUpReply`).
 

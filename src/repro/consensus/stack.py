@@ -96,6 +96,7 @@ class OmegaConsensusStack(CompositeProcess, LeaderOracle):
         counters = self.log.lifetime_counters()
         counters["round_resyncs"] = self.omega.round_resyncs
         counters["suspicions_sent"] = self.omega.suspicions_sent
+        counters["level_increments"] = sum(self.omega.level_increments.values())
         return counters
 
     def submit(self, value) -> None:

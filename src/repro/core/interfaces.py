@@ -32,8 +32,12 @@ class Message:
 
     Concrete messages are frozen dataclasses; freezing makes accidental in-place
     mutation of a message that is still in flight impossible (the simulator delivers
-    the same object to the destination rather than a copy).
+    the same object to the destination rather than a copy).  The empty
+    ``__slots__`` here is what lets ``slots=True`` subclasses actually shed the
+    per-instance dict: a single dict-backed base in the MRO would re-grow it.
     """
+
+    __slots__ = ()
 
     @property
     def tag(self) -> str:

@@ -14,7 +14,7 @@ pairs (a new joint behaviour built from individually known ones).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 #: One bucketed observation: ``(feature name, log2 bucket)``.
 FeatureBucket = Tuple[str, int]

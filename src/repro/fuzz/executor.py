@@ -467,7 +467,7 @@ def stale_read_violations(
                     writes.setdefault(record.key, []).append(
                         (record.completed_at, position)
                     )
-        for client_id, seq, key, result, index, invoked_at, _completed_at in audits:
+        for client_id, seq, key, _result, index, invoked_at, _completed_at in audits:
             for completed_at, position in writes.get(key, ()):
                 if completed_at <= invoked_at and position >= index:
                     violations.append(

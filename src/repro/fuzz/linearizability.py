@@ -27,7 +27,7 @@ linearizations and can never manufacture a violation.  Results recorded as
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.service.clients import RESULT_UNKNOWN, OperationRecord
 

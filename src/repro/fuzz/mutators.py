@@ -17,7 +17,7 @@ amnesia-safe envelope.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.simulation.faults import (
     CorruptLink,

@@ -1,0 +1,103 @@
+"""Command-line entry point: ``python -m repro.lint src/``.
+
+Exit codes: 0 — clean (every finding suppressed by a justified baseline entry
+and no entry stale); 1 — unbaselined findings and/or stale baseline entries;
+2 — usage errors (unknown rule, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.checkers import ALL_CHECKERS, run_checkers
+from repro.lint.report import Baseline
+from repro.lint.walker import build_model
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant linter (determinism, counter "
+        "retirement, protocol completeness, hot-path slots, parallel safety).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to scan"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed suppression baseline (JSON with justified entries)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="scaffold --baseline from the current findings and exit "
+        "(justifications must then be edited in by hand)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the registered rules"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.RULE_ID}  {checker.SUMMARY}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    try:
+        model = build_model(args.paths)
+        findings = run_checkers(model, select=select)
+    except (FileNotFoundError, SyntaxError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("error: --write-baseline requires --baseline", file=sys.stderr)
+            return 2
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    if args.baseline is not None and args.baseline.exists():
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        baseline = Baseline()
+
+    new, suppressed, stale = baseline.partition(findings)
+    for finding in new:
+        print(finding.render())
+    for entry in stale:
+        print(
+            f"{args.baseline}: stale baseline entry "
+            f"{entry.rule} [{entry.symbol}] ({entry.path}) — the finding is "
+            "gone; delete the entry"
+        )
+    scanned = len(model.modules)
+    print(
+        f"repro.lint: {scanned} module(s), {len(new)} finding(s), "
+        f"{len(suppressed)} suppressed, {len(stale)} stale baseline entr(y/ies)"
+    )
+    return 1 if new or stale else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Checker registry: one module per rule.
+
+Every checker module exposes ``RULE_ID`` (e.g. ``DET001``), ``SUMMARY`` (one
+line, shown by ``--list-rules`` and cross-checked against the ARCHITECTURE.md
+rule table by ``scripts/check_docs.py``), ``HISTORICAL_BUG`` (the shipped bug
+class the rule mechanises) and ``check(model) -> List[Finding]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.lint.checkers import cnt002, det001, msg003, pkl005, slt004
+from repro.lint.report import Finding
+from repro.lint.walker import ProjectModel
+
+#: All registered checkers, in rule-id order.
+ALL_CHECKERS = (det001, cnt002, msg003, slt004, pkl005)
+
+#: Rule id -> checker module.
+RULES: Dict[str, object] = {checker.RULE_ID: checker for checker in ALL_CHECKERS}
+
+
+def run_checkers(
+    model: ProjectModel, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Run the selected (default: all) checkers; findings sorted by site."""
+    if select is None:
+        checkers = ALL_CHECKERS
+    else:
+        unknown = sorted(set(select) - set(RULES))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+        checkers = tuple(RULES[rule] for rule in sorted(set(select)))
+    findings: List[Finding] = []
+    for checker in checkers:
+        findings.extend(checker.check(model))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.symbol))
+
+
+__all__ = ["ALL_CHECKERS", "RULES", "run_checkers"]

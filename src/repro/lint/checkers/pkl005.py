@@ -1,0 +1,125 @@
+"""PKL005 — parallel safety: workers handed to a pool must be module-level.
+
+:func:`repro.util.parallel.run_tasks` fans payloads out over a
+``multiprocessing`` pool; the worker callable is pickled into each child, so
+lambdas, closures (functions defined inside another function) and bound
+methods fail — at best loudly at spawn time, at worst only on the one code
+path that first crosses the pool.  PR 8 established the discipline (the shard
+worker is a module-level function fed by a picklable payload dict); this rule
+makes it mechanical.
+
+Flagged first arguments to ``run_tasks`` (resolved through the module's
+imports to ``repro.util.parallel.run_tasks``), to ``<pool>.map``-family
+methods and to ``Process(target=...)``/``apply_async`` calls:
+
+* a ``lambda`` expression;
+* a name bound by a nested ``def`` in the enclosing function (a closure);
+* a ``self.<method>`` bound method;
+* ``functools.partial`` wrapping any of the above (checked recursively).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.report import Finding
+from repro.lint.walker import FunctionInfo, ModuleInfo, ProjectModel, resolve_dotted
+
+RULE_ID = "PKL005"
+SUMMARY = "non-module-level callable handed to run_tasks / a multiprocessing pool"
+HISTORICAL_BUG = "PR 8: the parallel shard worker had to be made picklable by design"
+
+#: Attribute methods that take a worker callable as their first argument.
+_POOL_METHODS = ("map", "imap", "imap_unordered", "starmap", "apply_async")
+
+
+def _worker_argument(call: ast.Call, module: ModuleInfo) -> Optional[ast.AST]:
+    """The callable argument of a pool-style *call*, or None when out of scope."""
+    dotted = resolve_dotted(call.func, module.imports)
+    if dotted is not None and (
+        dotted == "repro.util.parallel.run_tasks" or dotted == "run_tasks"
+    ):
+        return call.args[0] if call.args else None
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _POOL_METHODS:
+        base = call.func.value
+        base_name = base.id if isinstance(base, ast.Name) else None
+        if (base_name is not None and "pool" in base_name.lower()) or (
+            dotted is not None and dotted.startswith("multiprocessing.")
+        ):
+            return call.args[0] if call.args else None
+    if dotted is not None and dotted.rsplit(".", 1)[-1] == "Process":
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                return keyword.value
+    return None
+
+
+def _violation(
+    argument: ast.AST, enclosing: Optional[FunctionInfo], module: ModuleInfo
+) -> Optional[str]:
+    """Describe why *argument* is not picklable, or None when it looks fine."""
+    if isinstance(argument, ast.Lambda):
+        return "a lambda cannot be pickled into pool workers"
+    if isinstance(argument, ast.Attribute):
+        if isinstance(argument.value, ast.Name) and argument.value.id == "self":
+            return "a bound method drags its instance through pickle"
+        return None
+    if isinstance(argument, ast.Name):
+        if enclosing is not None and argument.id in enclosing.nested_def_names:
+            return (
+                f"{argument.id!r} is defined inside {enclosing.qualname}(); "
+                "a closure cannot be pickled — hoist it to module level"
+            )
+        return None
+    if isinstance(argument, ast.Call):
+        dotted = resolve_dotted(argument.func, module.imports)
+        if dotted in ("functools.partial", "partial") and argument.args:
+            return _violation(argument.args[0], enclosing, module)
+    return None
+
+
+def check(model: ProjectModel) -> List[Finding]:
+    findings = []
+    for module in model.modules.values():
+        for function, nodes in _scopes(module):
+            for node in nodes:
+                if not isinstance(node, ast.Call):
+                    continue
+                argument = _worker_argument(node, module)
+                if argument is None:
+                    continue
+                reason = _violation(argument, function, module)
+                if reason is not None:
+                    where = function.qualname if function is not None else "<module>"
+                    findings.append(
+                        Finding(
+                            rule=RULE_ID,
+                            path=module.relpath,
+                            line=node.lineno,
+                            symbol=f"{where}:worker",
+                            message=reason,
+                        )
+                    )
+    return findings
+
+
+def _scopes(module: ModuleInfo):
+    """``(enclosing function, nodes)`` pairs covering the module exactly once.
+
+    Module-level statements are walked with no enclosing function; each
+    function/method is walked as one scope (nested defs included, so closure
+    names resolve against the outermost enclosing body).
+    """
+    toplevel = []
+    for statement in module.tree.body:
+        if not isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            toplevel.extend(ast.walk(statement))
+    yield None, toplevel
+    functions = list(module.functions.values())
+    for cls in module.classes.values():
+        functions.extend(cls.methods.values())
+    for function in functions:
+        yield function, list(ast.walk(function.node))

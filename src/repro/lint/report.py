@@ -1,0 +1,146 @@
+"""Findings and the committed suppression baseline.
+
+A finding is identified by ``(rule, path, symbol)`` — deliberately *not* by
+line number, so unrelated edits above a suppressed finding do not churn the
+baseline.  The baseline is a committed JSON file in which every entry carries
+a human-written justification; an entry that matches no current finding is
+*stale* and fails the run, so fixed findings cannot linger suppressed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching (line-number independent)."""
+        return (self.rule, self.path, self.symbol)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.symbol}] {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding plus the reason it is acceptable."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+
+class Baseline:
+    """The committed set of justified suppressions."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = []
+        seen: set = set()
+        for entry in entries:
+            if entry.key in seen:
+                raise ValueError(f"duplicate baseline entry {entry.key}")
+            seen.add(entry.key)
+            self.entries.append(entry)
+
+    # ------------------------------------------------------------------ round-trip --
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Parse and validate a baseline file; malformed entries fail loudly."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+            raise ValueError(f'{path}: expected an object with an "entries" list')
+        entries = []
+        for index, raw in enumerate(data["entries"]):
+            if not isinstance(raw, dict):
+                raise ValueError(f"{path}: entry {index} is not an object")
+            unknown = sorted(set(raw) - {"rule", "path", "symbol", "justification"})
+            if unknown:
+                raise ValueError(f"{path}: entry {index} has unknown field(s) {unknown}")
+            fields = {}
+            for field in ("rule", "path", "symbol", "justification"):
+                value = raw.get(field)
+                if not isinstance(value, str) or not value.strip():
+                    raise ValueError(
+                        f"{path}: entry {index} needs a non-empty string {field!r}"
+                        " (unjustified suppressions are not accepted)"
+                    )
+                fields[field] = value
+            entries.append(BaselineEntry(**fields))
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "entries": [dataclasses.asdict(entry) for entry in self.entries]
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str = "TODO: justify"
+    ) -> "Baseline":
+        """Scaffold a baseline from current findings (justifications to be edited)."""
+        entries = []
+        seen: set = set()
+        for finding in findings:
+            if finding.key in seen:
+                continue
+            seen.add(finding.key)
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    symbol=finding.symbol,
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+    # ------------------------------------------------------------------ matching --
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into ``(new, suppressed)`` and return stale entries.
+
+        A baseline entry may match several findings (the same symbol flagged at
+        two lines); it is stale only when it matches none.
+        """
+        by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.key: entry for entry in self.entries
+        }
+        matched: set = set()
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            if finding.key in by_key:
+                matched.add(finding.key)
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        stale = [entry for entry in self.entries if entry.key not in matched]
+        return new, suppressed, stale
+
+
+__all__ = ["Baseline", "BaselineEntry", "Finding"]

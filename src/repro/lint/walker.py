@@ -1,0 +1,374 @@
+"""One-pass AST project model shared by every checker.
+
+The walker parses every ``*.py`` file under the scanned paths once and distils
+the facts the rules dispatch on: classes (bases, decorators, ``__slots__``,
+attribute assignments, monotone-counter increments), functions and methods
+(call edges by simple name, nested lambdas/defs), and per-module import alias
+maps.  Checkers never re-parse source; they query this model.
+
+The model is deliberately *name-based*, not type-based: call edges connect a
+call site to every function of the same simple name anywhere in the project.
+That over-approximation errs toward false positives, which is the right
+direction for an invariant linter backed by a justified suppression baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Annotation substrings marking an attribute / field as set-typed.
+_SET_HINTS = ("Set[", "set[", "FrozenSet[", "frozenset[")
+
+
+# ------------------------------------------------------------------ data model --
+@dataclasses.dataclass
+class CounterIncrement:
+    """One ``self.<name> += <positive const>`` (or dict-slot ``self.<name>[k] +=``)."""
+
+    name: str
+    lineno: int
+    subscripted: bool
+
+
+@dataclasses.dataclass(eq=False)
+class FunctionInfo:
+    """One function or method (the unit of the name-based call graph)."""
+
+    name: str
+    qualname: str
+    lineno: int
+    node: ast.AST
+    module: "ModuleInfo"
+    #: Simple names this body calls (``foo()`` -> ``foo``; ``x.bar()`` -> ``bar``).
+    called_names: Set[str] = dataclasses.field(default_factory=set)
+    #: Line numbers of lambdas / nested ``def`` allocated inside the body.
+    nested_callables: List[int] = dataclasses.field(default_factory=list)
+    #: Names of the nested ``def``\ s (closure candidates for PKL005).
+    nested_def_names: Set[str] = dataclasses.field(default_factory=set)
+
+
+@dataclasses.dataclass(eq=False)
+class ClassInfo:
+    """One class definition with the facts the rules dispatch on."""
+
+    name: str
+    lineno: int
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    base_names: List[str] = dataclasses.field(default_factory=list)
+    #: Dotted decorator names (``dataclasses.dataclass`` -> that string).
+    decorator_names: List[str] = dataclasses.field(default_factory=list)
+    #: True for a class-body ``__slots__`` or a ``@dataclass(slots=True)``.
+    has_slots: bool = False
+    methods: Dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    counter_increments: List[CounterIncrement] = dataclasses.field(default_factory=list)
+    #: ``self.<name> = ...`` assignment counts outside ``__init__``/``__post_init__``
+    #: (a name reassigned there is protocol state, not a monotone counter).
+    reassigned_attrs: Set[str] = dataclasses.field(default_factory=set)
+    #: Attributes initialised as ``set()``/``frozenset()`` or annotated as sets.
+    set_typed_attrs: Set[str] = dataclasses.field(default_factory=set)
+
+
+@dataclasses.dataclass(eq=False)
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    #: Posix-style path as reported in findings (relative to the CWD when possible).
+    relpath: str
+    tree: ast.Module
+    classes: Dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    #: Local name -> dotted origin (``import random`` -> ``random``;
+    #: ``from time import time`` -> ``time.time``).
+    imports: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def matches(self, *suffixes: str) -> bool:
+        """True when the module path ends with one of the posix *suffixes*."""
+        return any(self.relpath.endswith(suffix) for suffix in suffixes)
+
+
+class ProjectModel:
+    """All parsed modules plus the cross-module indexes checkers query."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self.functions_by_name: Dict[str, List[FunctionInfo]] = {}
+        for function in self.iter_functions():
+            self.functions_by_name.setdefault(function.name, []).append(function)
+
+    # ------------------------------------------------------------------ iteration --
+    def iter_classes(self) -> Iterator[ClassInfo]:
+        for module in self.modules.values():
+            yield from module.classes.values()
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every top-level function and method of every module."""
+        for module in self.modules.values():
+            yield from module.functions.values()
+            for cls in module.classes.values():
+                yield from cls.methods.values()
+
+    # ------------------------------------------------------------------ call graph --
+    def reachable_functions(self, roots: Iterable[FunctionInfo]) -> Set[FunctionInfo]:
+        """Name-based closure: everything callable (transitively) from *roots*.
+
+        Conservative by construction — a call to ``digest`` reaches every
+        ``digest`` in the project — so rules applied to the reachable set
+        over- rather than under-report.
+        """
+        reached: Set[FunctionInfo] = set()
+        frontier = list(roots)
+        while frontier:
+            function = frontier.pop()
+            if function in reached:
+                continue
+            reached.add(function)
+            for called in function.called_names:
+                frontier.extend(self.functions_by_name.get(called, ()))
+        return reached
+
+
+# ------------------------------------------------------------------ AST helpers --
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_dotted(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Like :func:`dotted_name`, with the leading segment resolved via *imports*.
+
+    ``from time import time`` makes a bare ``time(...)`` resolve to
+    ``time.time``; ``import repro.util.parallel as rp`` makes ``rp.run_tasks``
+    resolve to ``repro.util.parallel.run_tasks``.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _is_set_annotation(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation)
+    return any(hint in text for hint in _SET_HINTS)
+
+
+def _is_set_constructor(value: ast.AST) -> bool:
+    if isinstance(value, ast.Set):
+        return True
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in ("set", "frozenset")
+    return False
+
+
+# ------------------------------------------------------------------ collection --
+def _collect_function(
+    node: ast.AST, qualname: str, module: ModuleInfo
+) -> FunctionInfo:
+    """Distil one ``def``: call names and nested callables (not into nested defs)."""
+    info = FunctionInfo(
+        name=node.name, qualname=qualname, lineno=node.lineno, node=node, module=module
+    )
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.nested_callables.append(child.lineno)
+            info.nested_def_names.add(child.name)
+            # Calls inside a nested def still count as reachable from here.
+        elif isinstance(child, ast.Lambda):
+            info.nested_callables.append(child.lineno)
+        elif isinstance(child, ast.Call):
+            name = None
+            if isinstance(child.func, ast.Name):
+                name = child.func.id
+            elif isinstance(child.func, ast.Attribute):
+                name = child.func.attr
+            if name is not None:
+                info.called_names.add(name)
+        stack.extend(ast.iter_child_nodes(child))
+    return info
+
+
+#: AugAssign values counting as a monotone bump.
+def _is_positive_const(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+        and node.value > 0
+    )
+
+
+def _collect_class(node: ast.ClassDef, module: ModuleInfo) -> ClassInfo:
+    info = ClassInfo(name=node.name, lineno=node.lineno, node=node, module=module)
+    for base in node.bases:
+        base_dotted = dotted_name(base)
+        if base_dotted is not None:
+            info.base_names.append(base_dotted.rsplit(".", 1)[-1])
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        decorated = dotted_name(target)
+        if decorated is not None:
+            info.decorator_names.append(decorated)
+        if (
+            isinstance(decorator, ast.Call)
+            and decorated is not None
+            and decorated.rsplit(".", 1)[-1] == "dataclass"
+        ):
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    info.has_slots = True
+
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    info.has_slots = True
+        elif isinstance(statement, ast.AnnAssign):
+            # Dataclass field annotations double as attribute types.
+            if isinstance(statement.target, ast.Name) and _is_set_annotation(
+                statement.annotation
+            ):
+                info.set_typed_attrs.add(statement.target.id)
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            method = _collect_function(
+                statement, f"{node.name}.{statement.name}", module
+            )
+            info.methods[statement.name] = method
+            _collect_attr_mutations(info, statement)
+    return info
+
+
+def _collect_attr_mutations(info: ClassInfo, method: ast.AST) -> None:
+    """Record ``self.<name>`` increments, reassignments and set-typed inits."""
+    in_init = method.name in ("__init__", "__post_init__")
+    for node in ast.walk(method):
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            target = node.target
+            subscripted = False
+            if isinstance(target, ast.Subscript):
+                target = target.value
+                subscripted = True
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and not target.attr.startswith("_")
+                and _is_positive_const(node.value)
+            ):
+                info.counter_increments.append(
+                    CounterIncrement(
+                        name=target.attr, lineno=node.lineno, subscripted=subscripted
+                    )
+                )
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if in_init:
+                    if value is not None and _is_set_constructor(value):
+                        info.set_typed_attrs.add(target.attr)
+                    if isinstance(node, ast.AnnAssign) and _is_set_annotation(
+                        node.annotation
+                    ):
+                        info.set_typed_attrs.add(target.attr)
+                else:
+                    info.reassigned_attrs.add(target.attr)
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            prefix = ("." * node.level) + (node.module or "")
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+    return imports
+
+
+# ------------------------------------------------------------------ entry point --
+def _python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return files
+
+
+def _relpath(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def build_model(paths: Iterable) -> ProjectModel:
+    """Parse every python file under *paths* into a :class:`ProjectModel`."""
+    modules: Dict[str, ModuleInfo] = {}
+    for file in _python_files([Path(p) for p in paths]):
+        source = file.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(file))
+        module = ModuleInfo(path=file, relpath=_relpath(file), tree=tree)
+        module.imports = _collect_imports(tree)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                module.classes[node.name] = _collect_class(node, module)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module.functions[node.name] = _collect_function(
+                    node, node.name, module
+                )
+        modules[module.relpath] = module
+    return ProjectModel(modules)
+
+
+__all__ = [
+    "ClassInfo",
+    "CounterIncrement",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_model",
+    "dotted_name",
+    "resolve_dotted",
+]

@@ -20,9 +20,9 @@ import dataclasses
 import itertools
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.composition import unwrap_round_number, unwrap_tag
 from repro.core.interfaces import Environment, LeaderOracle, Message, Process, TimerHandle
 from repro.simulation.delays import ConstantDelay, DelayModel, MessageContext
-from repro.core.composition import unwrap_round_number, unwrap_tag
 from repro.util.rng import RandomSource
 from repro.util.validation import require_non_negative, validate_process_count
 

@@ -142,7 +142,7 @@ def generate_commands(
     require_positive(num_clients, "num_clients")
     sequences = {c: 0 for c in range(num_clients)}
     commands: List[Command] = []
-    for index in range(num_commands):
+    for _index in range(num_commands):
         client = rng.randint(0, num_clients - 1)
         sequences[client] += 1
         op, key, args = workload.next_operation(rng)

@@ -31,7 +31,7 @@ rehydrates snapshot-then-tail instead of replaying the full history.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple, Type
+from typing import Any, Dict, Optional, Tuple, Type
 
 from repro.consensus.commands import Command, flatten_value
 from repro.consensus.leases import LeaseManager

@@ -50,7 +50,7 @@ import abc
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.metrics import component_agreed_leaders, reachable_components
+from repro.analysis.metrics import component_agreed_leaders
 from repro.simulation.faults import (
     CorruptLink,
     Crash,

@@ -63,7 +63,7 @@ Semantics
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.simulation.corruption import corrupt_message
 from repro.simulation.crash import CrashSchedule

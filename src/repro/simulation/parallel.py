@@ -47,7 +47,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.assumptions.scenarios import IntermittentRotatingStarScenario
@@ -58,6 +57,7 @@ from repro.storage.compaction import CompactionPolicy
 from repro.storage.stable_store import WriteCostModel
 from repro.util.parallel import run_tasks
 from repro.util.rng import derive_seed
+from repro.util.wallclock import now as wallclock_now
 
 #: Merged counters that are high-water marks (fold with ``max``); every other
 #: counter is monotone event accounting and folds with ``+``.
@@ -237,9 +237,9 @@ def run_shard(spec: ParallelServiceSpec, shard: int) -> ShardResult:
     plan_data = (spec.fault_plans or {}).get(shard)
     fault_plan_factory = None
     if plan_data is not None:
-        fault_plan_factory = lambda _local: FaultPlan.from_dict(
-            plan_data, n=spec.n, t=spec.t
-        )
+
+        def fault_plan_factory(_local):
+            return FaultPlan.from_dict(plan_data, n=spec.n, t=spec.t)
 
     stable_storage: object = False
     if spec.storage_cost is not None:
@@ -278,9 +278,9 @@ def run_shard(spec: ParallelServiceSpec, shard: int) -> ShardResult:
         stop_at=spec.stop_at,
     )
 
-    start = time.perf_counter()
+    start = wallclock_now()
     service.run_until(spec.horizon)
-    wall = time.perf_counter() - start
+    wall = wallclock_now() - start
 
     committed = sum(client.stats.completed for client in clients)
     digests = tuple(service.state_digests(0, correct_only=False))
@@ -442,8 +442,8 @@ def run_parallel_service(
         {"spec": spec.to_dict(), "shard": shard}
         for shard in range(spec.num_shards)
     ]
-    start = time.perf_counter()
+    start = wallclock_now()
     raw = run_tasks(_run_shard_payload, payloads, workers=workers)
-    wall = time.perf_counter() - start
+    wall = wallclock_now() - start
     results = [ShardResult.from_dict(data) for data in raw]
     return merge_shard_results(spec, results, workers=workers, wall_seconds=wall)

@@ -1,0 +1,22 @@
+"""The one sanctioned wall-clock read (the timing twin of :mod:`repro.util.rng`).
+
+Simulated executions run on virtual time and must stay byte-identically
+reproducible, so direct ``time.*`` reads are banned everywhere else in the
+library (rule DET001 of :mod:`repro.lint`).  Code that legitimately measures
+*wall* time — throughput accounting of the parallel shard runner, benchmark
+harnesses — imports :func:`now` from here instead.  Keeping the read behind
+one module makes the boundary auditable: nothing imported from this module
+may ever feed a run fingerprint, a digest or any merged deterministic result,
+only human-facing perf reporting.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["now"]
+
+
+def now() -> float:
+    """Monotonic wall-clock seconds (for perf reporting only, never results)."""
+    return time.perf_counter()

@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.analysis.experiments import build_system
 from repro.analysis.metrics import LeaderPoller, LeaderSample, summarize_levels
 from repro.assumptions import EventualTSourceScenario
-from repro.analysis.experiments import build_system
 from repro.core import Figure3Omega
 
 

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.assumptions.star import (
+    TIMELY,
+    WINNING,
     AlwaysFastPolicy,
     FixedSlowSetPolicy,
     StarDelayModel,
     StarSchedule,
     StarTiming,
-    TIMELY,
-    WINNING,
 )
 from repro.simulation.delays import MessageContext
 

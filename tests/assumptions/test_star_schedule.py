@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.assumptions.star import StarSchedule, TIMELY, WINNING
+from repro.assumptions.star import TIMELY, WINNING, StarSchedule
 
 
 class TestConstruction:

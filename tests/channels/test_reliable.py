@@ -4,7 +4,7 @@ import pytest
 
 from repro.channels.messages import Ack, Data
 from repro.channels.reliable import ReliableChannel
-from repro.core.interfaces import Message, Process
+from repro.core.interfaces import Process
 from repro.core.messages import Alive
 from repro.testing import FakeEnvironment
 

@@ -4,8 +4,8 @@ import pytest
 
 from repro.consensus.instance import NO_BALLOT, ConsensusInstance
 from repro.consensus.messages import (
-    AcceptRequest,
     Accepted,
+    AcceptRequest,
     Decide,
     Nack,
     Prepare,

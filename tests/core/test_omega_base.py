@@ -12,7 +12,7 @@ import pytest
 from repro.core.config import OmegaConfig
 from repro.core.figure1 import Figure1Omega
 from repro.core.messages import Alive, Suspicion
-from repro.core.omega_base import ALIVE_TIMER, ROUND_TIMER
+from repro.core.omega_base import ALIVE_TIMER
 from repro.testing import FakeEnvironment, deliver_round_alive, deliver_suspicions
 
 

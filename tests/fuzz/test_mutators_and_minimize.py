@@ -13,7 +13,7 @@ from repro.fuzz.corpus import amnesia_witness_plan, seed_corpus
 from repro.fuzz.executor import ScenarioSpec
 from repro.fuzz.minimize import ddmin, emit_regression_test
 from repro.fuzz.mutators import MAX_EVENTS, MutationEngine
-from repro.simulation.faults import Crash, FaultEvent, FaultPlan, Recover
+from repro.simulation.faults import Crash, FaultPlan, Recover
 from repro.util.rng import RandomSource
 
 N, T = 3, 1

@@ -8,7 +8,7 @@
   every entry within ``B + 1`` (Theorem 4).
 """
 
-from repro.analysis import LeaderPoller, build_system
+from repro.analysis import build_system
 from repro.analysis.experiments import run_omega_experiment
 from repro.assumptions import IntermittentRotatingStarScenario, RotatingPersecutionScenario
 from repro.core import Figure1Omega, Figure2Omega, Figure3Omega

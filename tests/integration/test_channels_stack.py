@@ -6,7 +6,6 @@ Eventual leadership must still hold, and the channel must actually be doing work
 (retransmissions happen, duplicates are suppressed).
 """
 
-from repro.analysis import LeaderPoller
 from repro.assumptions import EventualTSourceScenario
 from repro.channels import BernoulliLossModel, ReliableChannel
 from repro.core import Figure3Omega, OmegaConfig

@@ -20,7 +20,7 @@ from repro.assumptions import (
     StrictTSourceScenario,
     special_case_scenarios,
 )
-from repro.core import Figure1Omega, Figure2Omega, Figure3Omega, FgOmega
+from repro.core import FgOmega, Figure1Omega, Figure2Omega, Figure3Omega
 from repro.simulation import CrashSchedule
 
 DURATION = 300.0

@@ -1,0 +1,20 @@
+"""DET001 seeded violations: ambient clocks/RNG and an unsorted-set fold."""
+
+import random
+import time
+
+
+def merge_results(results):
+    seen = set(results)
+    merged = []
+    for item in seen:  # unsorted set iterated inside a merge fold
+        merged.append(item)
+    return merged
+
+
+def jitter():
+    return random.random() + time.time()  # global RNG + wall clock
+
+
+def order(items):
+    return sorted(items, key=id)  # object addresses vary between runs

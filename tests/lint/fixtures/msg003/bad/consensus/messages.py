@@ -1,0 +1,17 @@
+"""MSG003 fixture messages: Pong is constructed but never dispatched."""
+
+import dataclasses
+
+
+class Message:
+    __slots__ = ()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Ping(Message):
+    nonce: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Pong(Message):
+    nonce: int

@@ -1,0 +1,9 @@
+"""MSG003 seeded violation: the dispatch chain misses Pong."""
+
+
+class ToyLog:
+    def on_message(self, env, sender, message):
+        if isinstance(message, Ping):  # noqa: F821 - fixture, never imported
+            env.send(sender, Pong(nonce=message.nonce))  # noqa: F821
+            return
+        raise TypeError(message)

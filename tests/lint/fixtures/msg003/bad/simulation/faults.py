@@ -1,0 +1,28 @@
+"""MSG003 seeded violations: unregistered subclass + non-dataclass registrant."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Crash(FaultEvent):
+    pid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Hiccup(FaultEvent):  # defined but missing from EVENT_KINDS
+    pid: int
+
+
+class Wobble(FaultEvent):  # registered but not a dataclass: fields() sees nothing
+    pass
+
+
+EVENT_KINDS = {
+    "crash": Crash,
+    "wobble": Wobble,
+}

@@ -1,0 +1,24 @@
+"""MSG003 near-miss: every message is dispatched; Codec is not a message."""
+
+import dataclasses
+
+
+class Message:
+    __slots__ = ()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Ping(Message):
+    nonce: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Pong(Message):
+    nonce: int
+
+
+class Codec:  # helper, not a Message subclass: out of the rule's scope
+    __slots__ = ()
+
+    def encode(self, message):
+        return repr(message)

@@ -1,0 +1,8 @@
+"""MSG003 near-miss: a tuple isinstance arm covers both message kinds."""
+
+
+class ToyLog:
+    def on_message(self, env, sender, message):
+        if isinstance(message, (Ping, Pong)):  # noqa: F821 - fixture
+            return message.nonce
+        raise TypeError(message)

@@ -1,0 +1,23 @@
+"""MSG003 near-miss: registry complete; private intermediates are exempt."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class _WindowedFault(FaultEvent):  # private intermediate, not a wire kind
+    until: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Crash(_WindowedFault):  # transitive FaultEvent subclass, registered
+    pid: int = 0
+
+
+EVENT_KINDS = {
+    "crash": Crash,
+}

@@ -1,0 +1,30 @@
+"""PKL005 seeded violations: unpicklable workers handed to the pool."""
+
+import functools
+
+from repro.util.parallel import run_tasks
+
+
+class ToyCampaign:
+    def run_lambda(self, payloads):
+        return run_tasks(lambda payload: payload, payloads)
+
+    def run_bound(self, payloads):
+        return run_tasks(self.execute, payloads)  # bound method
+
+    def execute(self, payload):
+        return payload
+
+
+def launch(payloads):
+    def worker(payload):  # nested def: a closure the pool cannot pickle
+        return payload
+
+    return run_tasks(worker, payloads)
+
+
+def launch_partial(payloads):
+    def worker(payload):
+        return payload
+
+    return run_tasks(functools.partial(worker, 1), payloads)

@@ -1,0 +1,21 @@
+"""PKL005 near-misses: module-level workers and an unrelated run_tasks."""
+
+from otherlib.jobs import run_tasks as other_run_tasks  # noqa: F401 - fixture
+from repro.util.parallel import run_tasks
+
+
+def worker(payload):
+    return payload
+
+
+def launch(payloads):
+    return run_tasks(worker, payloads)  # module-level function: picklable
+
+
+def launch_pool(pool, payloads):
+    return pool.map(worker, payloads)
+
+
+def launch_other(payloads):
+    # A run_tasks from some other library is out of this rule's scope.
+    return other_run_tasks(lambda payload: payload, payloads)

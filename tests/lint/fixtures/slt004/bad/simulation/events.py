@@ -1,0 +1,9 @@
+"""SLT004 seeded violations: dict-backed hot-path class + per-call closure."""
+
+
+class ToyEvent:  # no __slots__: every instance allocates a dict
+    def __init__(self, when):
+        self.when = when
+
+    def deferred(self):
+        return lambda: self.when  # closure allocated per call on the hot path

@@ -1,0 +1,19 @@
+"""SLT004 near-misses: slotted classes, no closures."""
+
+import dataclasses
+
+
+class ToyEvent:
+    __slots__ = ("when",)
+
+    def __init__(self, when):
+        self.when = when
+
+    def shifted(self, delta):
+        return ToyEvent(self.when + delta)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ToyEnvelope:  # slots via the dataclass keyword
+    when: float
+    payload: object

@@ -1,0 +1,6 @@
+"""SLT004 scope near-miss: this module is not on the hot path; no slots needed."""
+
+
+class ToyPlan:  # simulation/plans.py is outside the scoped module set
+    def __init__(self):
+        self.events = []

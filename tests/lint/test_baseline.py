@@ -1,0 +1,101 @@
+"""Baseline round-trip: add -> suppress -> stale-entry detection, plus validation."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, Finding
+
+
+def _finding(rule="DET001", path="src/a.py", symbol="time.time", line=7):
+    return Finding(rule=rule, path=path, line=line, symbol=symbol, message="m")
+
+
+class TestRoundTrip:
+    def test_add_save_load_suppress(self, tmp_path):
+        findings = [_finding(), _finding(rule="SLT004", symbol="Event", line=3)]
+        baseline = Baseline.from_findings(findings, justification="known debt")
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+
+        loaded = Baseline.load(target)
+        new, suppressed, stale = loaded.partition(findings)
+        assert new == []
+        assert len(suppressed) == len(findings)
+        assert stale == []
+
+    def test_line_moves_do_not_invalidate_suppression(self, tmp_path):
+        baseline = Baseline.from_findings([_finding(line=7)], justification="debt")
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        moved = _finding(line=99)  # same rule/path/symbol, different line
+        new, suppressed, stale = Baseline.load(target).partition([moved])
+        assert (new, stale) == ([], [])
+        assert suppressed == [moved]
+
+    def test_fixed_finding_turns_entry_stale(self, tmp_path):
+        baseline = Baseline.from_findings(
+            [_finding(), _finding(rule="CNT002", symbol="Log.drops")],
+            justification="debt",
+        )
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        still_present = [_finding()]
+        new, suppressed, stale = Baseline.load(target).partition(still_present)
+        assert new == []
+        assert suppressed == still_present
+        assert [entry.rule for entry in stale] == ["CNT002"]
+
+
+class TestValidation:
+    def test_duplicate_keys_rejected(self):
+        entry = BaselineEntry(
+            rule="DET001", path="src/a.py", symbol="time.time", justification="x"
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            Baseline([entry, entry])
+
+    def test_empty_justification_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "DET001",
+                            "path": "src/a.py",
+                            "symbol": "time.time",
+                            "justification": "",
+                        }
+                    ]
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(target)
+
+    def test_unknown_fields_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "DET001",
+                            "path": "src/a.py",
+                            "symbol": "time.time",
+                            "justification": "x",
+                            "line": 7,
+                        }
+                    ]
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="unknown"):
+            Baseline.load(target)
+
+    def test_malformed_document_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps(["not", "a", "baseline"]))
+        with pytest.raises(ValueError):
+            Baseline.load(target)

@@ -22,10 +22,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.fuzz.executor import ScenarioSpec, build_service, run_scenario
 from repro.fuzz.linearizability import check_history
-from repro.simulation.adversary import LeaderHunter
-from repro.simulation.faults import FaultPlan
 from repro.service.clients import start_clients, zipfian_workload
 from repro.service.sharding import ShardedService
+from repro.simulation.adversary import LeaderHunter
+from repro.simulation.faults import FaultPlan
 
 
 def assert_leases_exclusive(service: ShardedService) -> None:

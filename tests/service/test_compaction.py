@@ -3,8 +3,6 @@ torn-snapshot recovery, exactly-once below the floor, and determinism."""
 
 import dataclasses
 
-import pytest
-
 from repro.consensus.commands import Command
 from repro.service.sharding import build_sharded_service
 from repro.simulation.faults import CorruptLink, FaultPlan

@@ -5,7 +5,6 @@ import pytest
 from repro.core import Figure3Omega, OmegaConfig
 from repro.simulation import ConstantDelay, FaultPlan, System, SystemConfig, UniformDelay
 from repro.simulation.adversary import (
-    Adversary,
     ChurnAdversary,
     LeaderHunter,
     RandomAdversary,

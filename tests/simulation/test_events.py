@@ -23,12 +23,12 @@ class TestEventQueue:
         queue = EventQueue()
         order = []
         for label in "abc":
-            queue.push(1.0, lambda l=label: order.append(l))
+            queue.push(1.0, lambda lab=label: order.append(lab))
         while queue.pop() is not None:
             pass
         # pop does not run callbacks; run them manually in pop order
         queue2 = EventQueue()
-        events = [queue2.push(1.0, lambda l=label: order.append(l)) for label in "xyz"]
+        events = [queue2.push(1.0, lambda lab=label: order.append(lab)) for label in "xyz"]
         popped = [queue2.pop() for _ in range(3)]
         assert [event.seq for event in popped] == sorted(event.seq for event in events)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.interfaces import Message, Process
+from repro.core.interfaces import Process
 from repro.core.messages import Alive
 from repro.simulation.delays import ConstantDelay
 from repro.simulation.network import Network
